@@ -1,0 +1,143 @@
+// Command tabmine-experiments regenerates every table and figure of the
+// paper's evaluation (Section 4). Each -fig value maps to one experiment
+// harness; "all" runs the full suite. The -scale flag multiplies workload
+// sizes toward paper scale.
+//
+//	tabmine-experiments -fig all
+//	tabmine-experiments -fig fig4b -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5 | baselines | all")
+		scale = flag.Int("scale", 1, "workload scale multiplier (1 = laptop defaults)")
+		seed  = flag.Uint64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+	if *scale < 1 {
+		fatal(fmt.Errorf("scale must be >= 1"))
+	}
+
+	run := map[string]func(){
+		"fig2":      func() { runFig2(*scale, *seed) },
+		"fig3":      func() { runFig3(*scale, *seed) },
+		"fig4a":     func() { runFig4a(*scale, *seed) },
+		"fig4b":     func() { runFig4b(*scale, *seed) },
+		"fig5":      func() { runFig5(*scale, *seed) },
+		"baselines": func() { runBaselines(*scale, *seed) },
+		"sweepk":    func() { runSweepK(*scale, *seed) },
+		"algos":     func() { runAlgos(*seed) },
+	}
+	if *fig == "all" {
+		for _, name := range []string{"fig2", "fig3", "fig4a", "fig4b", "fig5", "baselines", "sweepk", "algos"} {
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+	f()
+}
+
+func runFig2(scale int, seed uint64) {
+	for _, p := range []float64{1, 2} {
+		cfg := experiments.DefaultFig2Config(p)
+		cfg.Seed = seed
+		cfg.Pairs *= scale
+		if scale > 1 {
+			cfg.Stations *= 2
+			cfg.Days = scale
+			cfg.TileEdges = append(cfg.TileEdges, 128)
+		}
+		rows, err := experiments.RunFig2(cfg)
+		fatal(err)
+		experiments.PrintFig2(os.Stdout, p, rows)
+		fmt.Println()
+	}
+}
+
+func runFig3(scale int, seed uint64) {
+	cfg := experiments.DefaultFig3Config()
+	cfg.Seed = seed
+	cfg.Stations *= scale
+	cfg.Days *= scale
+	rows, err := experiments.RunFig3(cfg)
+	fatal(err)
+	experiments.PrintFig3(os.Stdout, rows)
+}
+
+func runFig4a(scale int, seed uint64) {
+	cfg := experiments.DefaultFig4aConfig()
+	cfg.Seed = seed
+	cfg.Stations *= scale
+	cfg.Days *= scale
+	rows, err := experiments.RunFig4a(cfg)
+	fatal(err)
+	experiments.PrintFig4a(os.Stdout, rows)
+}
+
+func runFig4b(scale int, seed uint64) {
+	cfg := experiments.DefaultFig4bConfig()
+	cfg.Seed = seed
+	cfg.Rows *= scale
+	cfg.Cols *= scale
+	rows, err := experiments.RunFig4b(cfg)
+	fatal(err)
+	experiments.PrintFig4b(os.Stdout, rows)
+}
+
+func runFig5(scale int, seed uint64) {
+	cfg := experiments.DefaultFig5Config()
+	cfg.Seed = seed
+	cfg.Stations *= scale
+	res, err := experiments.RunFig5(cfg)
+	fatal(err)
+	experiments.PrintFig5(os.Stdout, res)
+}
+
+func runSweepK(scale int, seed uint64) {
+	for _, p := range []float64{1, 2} {
+		cfg := experiments.DefaultSweepKConfig(p)
+		cfg.Seed = seed
+		cfg.Pairs *= scale
+		rows, err := experiments.RunSweepK(cfg)
+		fatal(err)
+		experiments.PrintSweepK(os.Stdout, p, rows)
+		fmt.Println()
+	}
+}
+
+func runAlgos(seed uint64) {
+	cfg := experiments.DefaultAlgosConfig()
+	cfg.Seed = seed
+	rows, err := experiments.RunAlgos(cfg)
+	fatal(err)
+	experiments.PrintAlgos(os.Stdout, cfg, rows)
+}
+
+func runBaselines(scale int, seed uint64) {
+	cfg := experiments.DefaultBaselinesConfig()
+	cfg.Seed = seed
+	cfg.Pairs *= scale
+	rows, err := experiments.RunBaselines(cfg)
+	fatal(err)
+	experiments.PrintBaselines(os.Stdout, rows)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

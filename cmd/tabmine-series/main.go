@@ -1,0 +1,83 @@
+// Command tabmine-series runs sketch-accelerated similarity search over a
+// single time series (one row of a table file): given a query window it
+// finds the most similar non-overlapping window under the Lp distance,
+// using the dyadic interval-sketch pool (the paper's 1D predecessor
+// machinery from VLDB 2000).
+//
+//	tabmine-gendata -kind callvolume -stations 64 -days 4 -o calls.tabf
+//	tabmine-series -in calls.tabf -row 10 -p 1 -query 0 -length 144
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"time"
+
+	"repro/internal/lpnorm"
+	"repro/internal/series"
+	"repro/internal/tabfile"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input table file (required)")
+		row    = flag.Int("row", 0, "table row to treat as the time series")
+		p      = flag.Float64("p", 1, "Lp exponent in (0, 2]")
+		k      = flag.Int("k", 256, "sketch entries")
+		query  = flag.Int("query", 0, "query window start position")
+		length = flag.Int("length", 0, "window length (required)")
+		stride = flag.Int("stride", 1, "candidate window stride")
+		seed   = flag.Uint64("seed", 42, "sketch seed")
+	)
+	flag.Parse()
+	if *in == "" || *length <= 0 {
+		fmt.Fprintln(os.Stderr, "tabmine-series: -in and -length are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tb, err := tabfile.ReadFile(*in)
+	fatal(err)
+	if *row < 0 || *row >= tb.Rows() {
+		fatal(fmt.Errorf("row %d outside table with %d rows", *row, tb.Rows()))
+	}
+	x := tb.Row(*row)
+	fmt.Printf("series: row %d of %s, %d points\n", *row, *in, len(x))
+
+	// Dyadic range covering the requested window length.
+	maxLog := bits.Len(uint(*length)) - 1
+	if 1<<maxLog > len(x) {
+		fatal(fmt.Errorf("window length %d too large for series of %d points", *length, len(x)))
+	}
+	minLog := maxLog - 1
+	if minLog < 0 {
+		minLog = 0
+	}
+	t0 := time.Now()
+	pool, err := series.NewIntervalPool(x, *p, *k, *seed, minLog, maxLog)
+	fatal(err)
+	build := time.Since(t0)
+
+	t0 = time.Now()
+	start, estDist, err := pool.NearestWindow(*query, *length, *stride)
+	fatal(err)
+	search := time.Since(t0)
+
+	lp, err := lpnorm.NewP(*p)
+	fatal(err)
+	exact := lp.Dist(x[*query:*query+*length], x[start:start+*length])
+
+	fmt.Printf("pool built in %v (k=%d, dyadic lengths %d..%d)\n", build, *k, 1<<minLog, 1<<maxLog)
+	fmt.Printf("query window  [%d, %d)\n", *query, *query+*length)
+	fmt.Printf("best match    [%d, %d)  (searched in %v)\n", start, start+*length, search)
+	fmt.Printf("  sketched L%.4g distance: %.4f\n", *p, estDist)
+	fmt.Printf("  exact    L%.4g distance: %.4f\n", *p, exact)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-series: %v\n", err)
+		os.Exit(1)
+	}
+}

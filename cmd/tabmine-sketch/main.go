@@ -1,0 +1,158 @@
+// Command tabmine-sketch estimates the Lp distance between two subtables
+// of a table file using stable sketches, and compares against the exact
+// computation.
+//
+// Rectangles are given as "row,col,height,width". Example:
+//
+//	tabmine-sketch -in calls.tabf -p 1 -k 256 \
+//	    -a 0,0,16,144 -b 64,144,16,144
+//
+// With -pool, a dyadic sketch pool is built instead of a single-size
+// sketcher, demonstrating arbitrary-rectangle compound sketches
+// (rectangle sizes may then differ from powers of two).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lpnorm"
+	"repro/internal/tabfile"
+	"repro/internal/table"
+)
+
+func parseRect(s string) (table.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return table.Rect{}, fmt.Errorf("rect %q: want row,col,height,width", s)
+	}
+	vals := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return table.Rect{}, fmt.Errorf("rect %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return table.Rect{R0: vals[0], C0: vals[1], Rows: vals[2], Cols: vals[3]}, nil
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input table file (required)")
+		p        = flag.Float64("p", 1, "Lp exponent in (0, 2]")
+		k        = flag.Int("k", 256, "sketch entries")
+		rectA    = flag.String("a", "", "first rectangle as row,col,height,width (required)")
+		rectB    = flag.String("b", "", "second rectangle (required, same size as -a)")
+		seed     = flag.Uint64("seed", 42, "sketch seed")
+		usePool  = flag.Bool("pool", false, "use a dyadic compound-sketch pool (Theorem 6)")
+		savePool = flag.String("save-pool", "", "with -pool: save the built pool to this file")
+		loadPool = flag.String("load-pool", "", "with -pool: load a previously saved pool instead of building")
+	)
+	flag.Parse()
+	if *in == "" || *rectA == "" || *rectB == "" {
+		fmt.Fprintln(os.Stderr, "tabmine-sketch: -in, -a and -b are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := parseRect(*rectA)
+	fatal(err)
+	b, err := parseRect(*rectB)
+	fatal(err)
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		fatal(fmt.Errorf("rectangles must have equal dimensions: %v vs %v", a, b))
+	}
+
+	tb, err := tabfile.ReadFile(*in)
+	fatal(err)
+	for _, r := range []table.Rect{a, b} {
+		if !r.In(tb.Rows(), tb.Cols()) {
+			fatal(fmt.Errorf("rect %v outside table %dx%d", r, tb.Rows(), tb.Cols()))
+		}
+	}
+
+	lp, err := lpnorm.NewP(*p)
+	fatal(err)
+	t0 := time.Now()
+	exact := lp.Dist(tb.Linearize(a, nil), tb.Linearize(b, nil))
+	exactTime := time.Since(t0)
+
+	var est float64
+	var prepTime, queryTime time.Duration
+	if *usePool {
+		t0 = time.Now()
+		var pool *core.Pool
+		if *loadPool != "" {
+			f, err := os.Open(*loadPool)
+			fatal(err)
+			pool, err = core.LoadPool(f)
+			f.Close()
+			fatal(err)
+			fmt.Printf("loaded pool from %s\n", *loadPool)
+		} else {
+			// Build only the dyadic size the query rectangles need (a full
+			// canonical pool costs O(log²N) sizes; pass -save-pool to keep
+			// whatever is built for reuse).
+			ei := bits.Len(uint(a.Rows)) - 1
+			if 1<<ei > tb.Rows()/2 && a.Rows < tb.Rows() {
+				ei--
+			}
+			ej := bits.Len(uint(a.Cols)) - 1
+			if 1<<ej > tb.Cols()/2 && a.Cols < tb.Cols() {
+				ej--
+			}
+			var err error
+			pool, err = core.NewPool(tb, *p, *k, *seed, core.PoolOptions{
+				MinLogRows: ei, MaxLogRows: ei, MinLogCols: ej, MaxLogCols: ej,
+			})
+			fatal(err)
+		}
+		prepTime = time.Since(t0)
+		if *savePool != "" {
+			f, err := os.Create(*savePool)
+			fatal(err)
+			err = core.SavePool(f, pool)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fatal(err)
+			fmt.Printf("saved pool to %s\n", *savePool)
+		}
+		t0 = time.Now()
+		est, err = pool.Distance(a, b)
+		fatal(err)
+		queryTime = time.Since(t0)
+		fmt.Printf("mode: dyadic pool (%d sizes, exact-dyadic rect: %v)\n",
+			pool.NumSizes(), pool.IsExact(a))
+	} else {
+		t0 = time.Now()
+		sk, err := core.NewSketcher(*p, *k, a.Rows, a.Cols, *seed, core.EstimatorAuto)
+		fatal(err)
+		cache := core.NewCache(tb, sk)
+		prepTime = time.Since(t0)
+		t0 = time.Now()
+		est = cache.Distance(a, b)
+		queryTime = time.Since(t0)
+		fmt.Println("mode: direct sketches (on demand)")
+	}
+
+	fmt.Printf("L%.4g distance %v ↔ %v over %dx%d table\n", *p, a, b, tb.Rows(), tb.Cols())
+	fmt.Printf("  exact   : %12.4f  (%v)\n", exact, exactTime)
+	fmt.Printf("  sketched: %12.4f  (prep %v, query %v, k=%d)\n", est, prepTime, queryTime, *k)
+	if exact > 0 {
+		fmt.Printf("  ratio   : %12.4f\n", est/exact)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-sketch: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Command tabmine-store manages a day-partitioned table store: append
+// days from table/CSV files, list the contents, and export stitched
+// ranges for mining.
+//
+//	tabmine-store -dir ./calls init
+//	tabmine-store -dir ./calls append -label mon -in day0.tabf -gzip
+//	tabmine-store -dir ./calls list
+//	tabmine-store -dir ./calls export -from 0 -to 3 -o week.tabf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/tabfile"
+	"repro/internal/table"
+	"repro/internal/tabstore"
+)
+
+func main() {
+	var (
+		dir = flag.String("dir", "", "store directory (required)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tabmine-store -dir DIR {init | append | list | export} [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "init":
+		fatal(os.MkdirAll(*dir, 0o755))
+		_, err := tabstore.Open(*dir)
+		fatal(err)
+		fmt.Printf("initialized store at %s\n", *dir)
+	case "append":
+		runAppend(*dir, args)
+	case "list":
+		runList(*dir)
+	case "export":
+		runExport(*dir, args)
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", cmd))
+	}
+}
+
+func runAppend(dir string, args []string) {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	label := fs.String("label", "", "day label (required)")
+	in := fs.String("in", "", "input table file, .csv treated as CSV (required)")
+	gz := fs.Bool("gzip", false, "compress the stored day")
+	fatal(fs.Parse(args))
+	if *label == "" || *in == "" {
+		fatal(fmt.Errorf("append needs -label and -in"))
+	}
+	var (
+		tb  *table.Table
+		err error
+	)
+	if strings.HasSuffix(*in, ".csv") {
+		f, err2 := os.Open(*in)
+		fatal(err2)
+		tb, err = tabfile.ReadCSV(f)
+		f.Close()
+	} else {
+		tb, err = tabfile.ReadFile(*in)
+	}
+	fatal(err)
+	s, err := tabstore.Open(dir)
+	fatal(err)
+	fatal(s.AppendDay(*label, tb, *gz))
+	fmt.Printf("appended %q: %dx%d (day %d of store)\n", *label, tb.Rows(), tb.Cols(), s.NumDays())
+}
+
+func runList(dir string) {
+	s, err := tabstore.Open(dir)
+	fatal(err)
+	fmt.Printf("store %s: %d days, %d rows\n", dir, s.NumDays(), s.Rows())
+	for i, label := range s.Labels() {
+		day, err := s.Day(i)
+		fatal(err)
+		st := day.Summarize()
+		fmt.Printf("  [%d] %-12s %d cols  (min %.1f, mean %.1f, max %.1f)\n",
+			i, label, day.Cols(), st.Min, st.Mean, st.Max)
+	}
+}
+
+func runExport(dir string, args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	from := fs.Int("from", 0, "first day (inclusive)")
+	to := fs.Int("to", -1, "last day (exclusive; -1 = all)")
+	out := fs.String("o", "", "output table file (required)")
+	gz := fs.Bool("gzip", false, "compress the export")
+	fatal(fs.Parse(args))
+	if *out == "" {
+		fatal(fmt.Errorf("export needs -o"))
+	}
+	s, err := tabstore.Open(dir)
+	fatal(err)
+	end := *to
+	if end < 0 {
+		end = s.NumDays()
+	}
+	tb, err := s.LoadRange(*from, end)
+	fatal(err)
+	fatal(tabfile.WriteFile(*out, tb, *gz))
+	fmt.Printf("exported days [%d, %d) as %dx%d to %s\n", *from, end, tb.Rows(), tb.Cols(), *out)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-store: %v\n", err)
+		os.Exit(1)
+	}
+}

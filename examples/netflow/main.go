@@ -1,0 +1,87 @@
+// Netflow: the paper's second motivating scenario — a table of traffic
+// volumes indexed by destination IP block (rows) and time (columns), as a
+// router would dump it. A dyadic sketch Pool answers "how similar are
+// these two (subnet × time-window) regions?" for arbitrary rectangles in
+// O(k), which this example uses to find the pair of days with the most
+// similar traffic pattern for each subnet block.
+//
+// Run with:
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	tabmine "repro"
+)
+
+func main() {
+	const (
+		hosts         = 128
+		daysTotal     = 8
+		bucketsPerDay = 96
+		p             = 1.0 // L1: total traffic discrepancy in bytes
+		sketchK       = 128
+	)
+	tb, err := tabmine.GenerateTraffic(tabmine.TrafficConfig{
+		Hosts: hosts, Days: daysTotal, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traffic table: %d hosts × %d buckets (%d days)\n",
+		tb.Rows(), tb.Cols(), daysTotal)
+
+	// One pool answers distance queries for ANY rectangle whose extents
+	// fall within [2, 2·max dyadic]: block×day windows, block×week
+	// windows, sub-blocks, and so on (Theorems 5–6).
+	pool, err := tabmine.NewPool(tb, p, sketchK, 9, tabmine.PoolOptions{
+		MinLogRows: 2, MaxLogRows: 4, // tile heights 4..16 rows
+		MinLogCols: 4, MaxLogCols: 6, // tile widths 16..64 buckets
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool: %d dyadic sizes, k=%d sketch entries\n\n", pool.NumSizes(), sketchK)
+
+	// For each 16-host block: which two days have the most similar
+	// traffic? Day windows are 96 buckets wide — not a power of two, so
+	// every query below uses compound sketches.
+	fmt.Println("most similar pair of days per host block (compound sketches):")
+	for block := 0; block < hosts/16; block++ {
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for d1 := 0; d1 < daysTotal; d1++ {
+			for d2 := d1 + 1; d2 < daysTotal; d2++ {
+				a := tabmine.Rect{R0: block * 16, C0: d1 * bucketsPerDay, Rows: 16, Cols: bucketsPerDay}
+				b := tabmine.Rect{R0: block * 16, C0: d2 * bucketsPerDay, Rows: 16, Cols: bucketsPerDay}
+				d, err := pool.Distance(a, b)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if d < bestD {
+					bestA, bestB, bestD = d1, d2, d
+				}
+			}
+		}
+		// Verify the winner against the exact distance.
+		a := tabmine.Rect{R0: block * 16, C0: bestA * bucketsPerDay, Rows: 16, Cols: bucketsPerDay}
+		b := tabmine.Rect{R0: block * 16, C0: bestB * bucketsPerDay, Rows: 16, Cols: bucketsPerDay}
+		exact := tabmine.MustP(p).Dist(tb.Linearize(a, nil), tb.Linearize(b, nil))
+		fmt.Printf("  block %2d: days %d and %d  (sketched %.0f, exact %.0f)\n",
+			block, bestA, bestB, bestD, exact)
+	}
+
+	// Arbitrary-rectangle query: compare the first half-week against the
+	// second half-week for the whole address space at once.
+	firstHalf := tabmine.Rect{R0: 0, C0: 0, Rows: hosts, Cols: daysTotal / 2 * bucketsPerDay}
+	secondHalf := tabmine.Rect{R0: 0, C0: daysTotal / 2 * bucketsPerDay, Rows: hosts, Cols: daysTotal / 2 * bucketsPerDay}
+	if err := pool.CanSketch(firstHalf); err != nil {
+		fmt.Printf("\nwhole-table window query outside pool's dyadic range (expected): %v\n", err)
+	} else {
+		d, _ := pool.Distance(firstHalf, secondHalf)
+		fmt.Printf("\nfirst vs second half-week distance: %.0f\n", d)
+	}
+}

@@ -1,0 +1,31 @@
+package cluster
+
+import "fmt"
+
+// BestOf runs a stochastic clustering routine `restarts` times with
+// distinct seeds derived from base and returns the result with the
+// smallest Spread — the algorithm's own objective, so model selection
+// never peeks at ground truth. It is the restart loop every
+// k-means/k-medoids experiment needs; the paper's single-run k-means is
+// BestOf with restarts = 1.
+func BestOf(restarts int, base uint64, run func(seed uint64) (*Result, error)) (*Result, error) {
+	if restarts < 1 {
+		return nil, fmt.Errorf("cluster: restarts = %d", restarts)
+	}
+	if run == nil {
+		return nil, fmt.Errorf("cluster: nil run function")
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		// A fixed odd stride keeps the derived seeds distinct without
+		// correlating consecutive restarts.
+		res, err := run(base + uint64(r)*0x9e37_79b9)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Spread < best.Spread {
+			best = res
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBestOfPicksSmallestSpread(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	points, _ := blobs(rng, [][]float64{{0, 0}, {40, 40}, {80, 0}}, 20, 1)
+	seen := map[uint64]bool{}
+	best, err := BestOf(8, 100, func(seed uint64) (*Result, error) {
+		if seen[seed] {
+			t.Errorf("seed %d reused", seed)
+		}
+		seen[seed] = true
+		return KMeans(points, l2, Config{K: 3, Seed: seed})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Errorf("ran %d times, want 8", len(seen))
+	}
+	// The best-of-8 spread can never exceed any single run's spread.
+	single, _ := KMeans(points, l2, Config{K: 3, Seed: 100})
+	if best.Spread > single.Spread {
+		t.Errorf("best-of spread %v exceeds single-run %v", best.Spread, single.Spread)
+	}
+}
+
+func TestBestOfErrors(t *testing.T) {
+	if _, err := BestOf(0, 1, nil); err == nil {
+		t.Error("restarts=0: expected error")
+	}
+	if _, err := BestOf(1, 1, nil); err == nil {
+		t.Error("nil run: expected error")
+	}
+	boom := errors.New("boom")
+	if _, err := BestOf(3, 1, func(uint64) (*Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Error("run error not propagated")
+	}
+}

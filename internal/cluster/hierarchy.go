@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how agglomerative clustering measures inter-cluster
+// distance.
+type Linkage int
+
+const (
+	// SingleLinkage merges by minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges by maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges by mean pairwise distance (UPGMA).
+	AverageLinkage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step of the dendrogram. Cluster ids
+// follow the scipy convention: leaves are 0..n-1, the cluster created by
+// merge step s gets id n+s.
+type Merge struct {
+	A, B     int     // the merged cluster ids
+	Distance float64 // linkage distance at which they merged
+	Size     int     // size of the new cluster
+}
+
+// Agglomerative builds a full bottom-up clustering of points using the
+// Lance–Williams update, O(n²) memory and O(n³) worst-case time (O(n²)
+// distance evaluations — with sketch distances that's where the paper's
+// speedup applies: each evaluation is O(k) instead of O(tile)).
+// It returns the n−1 merges in order.
+func Agglomerative(points [][]float64, dist DistFunc, linkage Linkage) ([]Merge, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("cluster: nil distance function")
+	}
+	switch linkage {
+	case SingleLinkage, CompleteLinkage, AverageLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %d", int(linkage))
+	}
+	if n == 1 {
+		return nil, nil
+	}
+	// Distance matrix between active clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(points[i], points[j])
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	id := make([]int, n) // current dendrogram id of slot i
+	for i := range active {
+		active[i], size[i], id[i] = true, 1, i
+	}
+	merges := make([]Merge, 0, n-1)
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		merges = append(merges, Merge{
+			A: id[bi], B: id[bj], Distance: best, Size: size[bi] + size[bj],
+		})
+		// Lance–Williams: fold cluster bj into slot bi.
+		for x := 0; x < n; x++ {
+			if !active[x] || x == bi || x == bj {
+				continue
+			}
+			var v float64
+			switch linkage {
+			case SingleLinkage:
+				v = math.Min(d[bi][x], d[bj][x])
+			case CompleteLinkage:
+				v = math.Max(d[bi][x], d[bj][x])
+			case AverageLinkage:
+				wi, wj := float64(size[bi]), float64(size[bj])
+				v = (wi*d[bi][x] + wj*d[bj][x]) / (wi + wj)
+			}
+			d[bi][x], d[x][bi] = v, v
+		}
+		size[bi] += size[bj]
+		id[bi] = n + step
+		active[bj] = false
+	}
+	return merges, nil
+}
+
+// CutDendrogram converts a merge sequence into a flat clustering with k
+// clusters (undoing the last k−1 merges) and returns per-point labels in
+// [0, k).
+func CutDendrogram(merges []Merge, n, k int) ([]int, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: cut k = %d outside [1, %d]", k, n)
+	}
+	if len(merges) != n-1 {
+		return nil, fmt.Errorf("cluster: %d merges for %d points", len(merges), n)
+	}
+	// Union-find over the first n-k merges.
+	parent := make([]int, n+len(merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for s := 0; s < n-k; s++ {
+		m := merges[s]
+		newID := n + s
+		parent[find(m.A)] = newID
+		parent[find(m.B)] = newID
+	}
+	labels := make([]int, n)
+	next := 0
+	rootLabel := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		l, ok := rootLabel[r]
+		if !ok {
+			l = next
+			rootLabel[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	if next != k {
+		return nil, fmt.Errorf("cluster: cut produced %d clusters, want %d", next, k)
+	}
+	return labels, nil
+}

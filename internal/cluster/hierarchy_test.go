@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLinkageString(t *testing.T) {
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" ||
+		AverageLinkage.String() != "average" {
+		t.Error("linkage names wrong")
+	}
+	if Linkage(9).String() == "" {
+		t.Error("unknown linkage empty")
+	}
+}
+
+func TestAgglomerativeTinyByHand(t *testing.T) {
+	// Points on a line: 0, 1, 10. Single linkage merges {0,1} at distance
+	// 1 (new id 3), then {0,1} with {10} at distance 9.
+	points := [][]float64{{0}, {1}, {10}}
+	merges, err := Agglomerative(points, l2, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != 2 {
+		t.Fatalf("got %d merges, want 2", len(merges))
+	}
+	m0 := merges[0]
+	if !((m0.A == 0 && m0.B == 1) || (m0.A == 1 && m0.B == 0)) || m0.Distance != 1 {
+		t.Errorf("first merge %+v, want 0+1 at distance 1", m0)
+	}
+	if m0.Size != 2 {
+		t.Errorf("first merge size %d, want 2", m0.Size)
+	}
+	m1 := merges[1]
+	if m1.Distance != 9 || m1.Size != 3 {
+		t.Errorf("second merge %+v, want distance 9 size 3", m1)
+	}
+	// Complete linkage merges the far pair at max distance 10.
+	mergesC, err := Agglomerative(points, l2, CompleteLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergesC[1].Distance != 10 {
+		t.Errorf("complete-linkage final distance %v, want 10", mergesC[1].Distance)
+	}
+	// Average linkage: mean of 9 and 10 = 9.5.
+	mergesA, err := Agglomerative(points, l2, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mergesA[1].Distance-9.5) > 1e-12 {
+		t.Errorf("average-linkage final distance %v, want 9.5", mergesA[1].Distance)
+	}
+}
+
+func TestAgglomerativeErrors(t *testing.T) {
+	if _, err := Agglomerative(nil, l2, SingleLinkage); err == nil {
+		t.Error("no points: expected error")
+	}
+	if _, err := Agglomerative([][]float64{{1}}, nil, SingleLinkage); err == nil {
+		t.Error("nil dist: expected error")
+	}
+	if _, err := Agglomerative([][]float64{{1}, {2}}, l2, Linkage(9)); err == nil {
+		t.Error("bad linkage: expected error")
+	}
+}
+
+func TestAgglomerativeSinglePoint(t *testing.T) {
+	merges, err := Agglomerative([][]float64{{1}}, l2, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != 0 {
+		t.Error("single point should produce no merges")
+	}
+}
+
+func TestCutDendrogramRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	centers := [][]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}
+	points, truth := blobs(rng, centers, 15, 1)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		merges, err := Agglomerative(points, l2, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := CutDendrogram(merges, len(points), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameClustering(truth, labels, 4) {
+			t.Errorf("%v linkage failed to recover blobs", linkage)
+		}
+	}
+}
+
+func TestCutDendrogramEdges(t *testing.T) {
+	points := [][]float64{{0}, {1}, {10}}
+	merges, _ := Agglomerative(points, l2, SingleLinkage)
+	// k = n: every point its own cluster.
+	labels, err := CutDendrogram(merges, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n cut: labels %v", labels)
+	}
+	// k = 1: all together.
+	labels, err = CutDendrogram(merges, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Errorf("k=1 cut: labels %v", labels)
+		}
+	}
+	// Errors.
+	if _, err := CutDendrogram(merges, 3, 0); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := CutDendrogram(merges, 3, 4); err == nil {
+		t.Error("k>n: expected error")
+	}
+	if _, err := CutDendrogram(merges[:1], 3, 2); err == nil {
+		t.Error("wrong merge count: expected error")
+	}
+}
+
+func TestAgglomerativeMergeDistancesMonotoneForCompleteLinkage(t *testing.T) {
+	// Complete and average linkage produce monotone dendrograms.
+	rng := rand.New(rand.NewPCG(6, 6))
+	points, _ := blobs(rng, [][]float64{{0, 0}, {5, 5}, {20, 0}}, 10, 2)
+	for _, linkage := range []Linkage{CompleteLinkage, AverageLinkage} {
+		merges, err := Agglomerative(points, l2, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for i, m := range merges {
+			if m.Distance < prev-1e-9 {
+				t.Fatalf("%v linkage: merge %d distance %v < previous %v",
+					linkage, i, m.Distance, prev)
+			}
+			prev = m.Distance
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// KMedoids clusters points around k medoids (actual data points) using
+// Voronoi iteration: assign each point to its nearest medoid, then move
+// each medoid to the member minimizing total within-cluster distance.
+//
+// Medoid-based clustering is the second mining workload the paper's
+// distance oracles plug into (its related work cites CLARANS): unlike
+// k-means it never forms mean centroids, so it works with *any* distance
+// — including sketch-space distances for p < 1, where means are not the
+// within-cluster optimum.
+func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("cluster: K = %d outside [1, %d]", cfg.K, n)
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("cluster: nil distance function")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6d65646f696473))
+	res := &Result{Assign: make([]int, n)}
+
+	medoids := make([]int, cfg.K) // indices into points
+	perm := rng.Perm(n)
+	switch cfg.Init {
+	case InitPlusPlus:
+		// D²-weighted seeding, as in k-means++: spreads the initial
+		// medoids across the data and avoids the classic Voronoi-iteration
+		// trap of two seeds in one blob.
+		medoids[0] = rng.IntN(n)
+		d2 := make([]float64, n)
+		for i, p := range points {
+			d := dist(p, points[medoids[0]])
+			res.Comparisons++
+			d2[i] = d * d
+		}
+		for c := 1; c < cfg.K; c++ {
+			var total float64
+			for _, v := range d2 {
+				total += v
+			}
+			idx := rng.IntN(n)
+			if total > 0 {
+				target := rng.Float64() * total
+				for idx = 0; idx < n-1; idx++ {
+					target -= d2[idx]
+					if target <= 0 {
+						break
+					}
+				}
+			}
+			medoids[c] = idx
+			for i, p := range points {
+				d := dist(p, points[idx])
+				res.Comparisons++
+				if dd := d * d; dd < d2[i] {
+					d2[i] = dd
+				}
+			}
+		}
+	default:
+		copy(medoids, perm[:cfg.K])
+	}
+
+	assign := res.Assign
+	members := make([][]int, cfg.K)
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		changed := 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				d := dist(p, points[m])
+				res.Comparisons++
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		if changed == 0 && iter > 0 {
+			res.Converged = true
+			break
+		}
+		// Update step: each medoid becomes the member with the smallest
+		// summed distance to its cluster.
+		for c := range members {
+			members[c] = members[c][:0]
+		}
+		for i, c := range assign {
+			members[c] = append(members[c], i)
+		}
+		for c, mem := range members {
+			if len(mem) == 0 {
+				// Empty cluster: reseed at a random non-medoid point.
+				medoids[c] = perm[rng.IntN(n)]
+				continue
+			}
+			bestIdx, bestSum := medoids[c], math.Inf(1)
+			for _, cand := range mem {
+				var sum float64
+				for _, other := range mem {
+					sum += dist(points[cand], points[other])
+					res.Comparisons++
+				}
+				if sum < bestSum {
+					bestIdx, bestSum = cand, sum
+				}
+			}
+			medoids[c] = bestIdx
+		}
+	}
+	res.Centroids = make([][]float64, cfg.K)
+	for c, m := range medoids {
+		res.Centroids[c] = append([]float64(nil), points[m]...)
+	}
+	res.Spread = Spread(points, assign, res.Centroids, dist)
+	return res, nil
+}

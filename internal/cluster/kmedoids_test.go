@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/lpnorm"
+)
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	centers := [][]float64{{0, 0}, {60, 0}, {0, 60}}
+	points, truth := blobs(rng, centers, 25, 1)
+	res, err := KMedoids(points, l2, Config{K: 3, Seed: 2, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameClustering(truth, res.Assign, 3) {
+		t.Error("k-medoids failed on separable blobs")
+	}
+	if res.Comparisons == 0 {
+		t.Error("comparisons not counted")
+	}
+}
+
+func TestKMedoidsCentroidsAreDataPoints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	points, _ := blobs(rng, [][]float64{{0, 0}, {50, 50}}, 20, 1)
+	res, err := KMedoids(points, l2, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cent := range res.Centroids {
+		found := false
+		for _, p := range points {
+			same := true
+			for j := range p {
+				if p[j] != cent[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("medoid %d is not an input point", c)
+		}
+	}
+}
+
+func TestKMedoidsWithFractionalP(t *testing.T) {
+	// Medoid clustering has no mean step, so it is well-defined for p < 1.
+	rng := rand.New(rand.NewPCG(3, 3))
+	points, truth := blobs(rng, [][]float64{{0, 0, 0}, {500, 500, 500}}, 20, 5)
+	res, err := KMedoids(points, lpnorm.MustP(0.5).Dist, Config{K: 2, Seed: 4, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameClustering(truth, res.Assign, 2) {
+		t.Error("fractional-p k-medoids failed")
+	}
+}
+
+func TestKMedoidsErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMedoids(nil, l2, Config{K: 1}); err == nil {
+		t.Error("no points: expected error")
+	}
+	if _, err := KMedoids(pts, l2, Config{K: 0}); err == nil {
+		t.Error("K=0: expected error")
+	}
+	if _, err := KMedoids(pts, l2, Config{K: 5}); err == nil {
+		t.Error("K>n: expected error")
+	}
+	if _, err := KMedoids(pts, nil, Config{K: 1}); err == nil {
+		t.Error("nil dist: expected error")
+	}
+	if _, err := KMedoids([][]float64{{1}, {2, 3}}, l2, Config{K: 1}); err == nil {
+		t.Error("ragged: expected error")
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	points, _ := blobs(rng, [][]float64{{0, 0}, {10, 10}}, 20, 2)
+	a, _ := KMedoids(points, l2, Config{K: 2, Seed: 7})
+	b, _ := KMedoids(points, l2, Config{K: 2, Seed: 7})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different medoid clusterings")
+		}
+	}
+}
+
+func TestKMedoidsSingleCluster(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}, {3}, {100}}
+	res, err := KMedoids(points, l2, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Medoid of {0,1,2,3,100} under L2 distance sums: 2 minimizes.
+	if res.Centroids[0][0] != 2 {
+		t.Errorf("medoid = %v, want 2", res.Centroids[0][0])
+	}
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Silhouette computes the mean silhouette coefficient of a clustering —
+// an internal quality measure needing no ground truth, complementing the
+// spread-based Definition 11: for each point, a = mean distance to its
+// own cluster, b = mean distance to the nearest other cluster, and the
+// silhouette is (b − a)/max(a, b) ∈ [−1, 1]. Higher is better; values
+// near 0 mean overlapping clusters; negative values mean likely
+// misassignment.
+//
+// Cost is O(n²) distance evaluations — with sketch distances each is
+// O(k), which is exactly the regime the paper's machinery targets.
+// Singleton clusters contribute 0 by the standard convention.
+func Silhouette(points [][]float64, assign []int, k int, dist DistFunc) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: no points")
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d points", len(assign), n)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("cluster: k = %d", k)
+	}
+	if dist == nil {
+		return 0, fmt.Errorf("cluster: nil distance function")
+	}
+	sizes := make([]int, k)
+	for i, c := range assign {
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("cluster: assignment %d at point %d outside [0, %d)", c, i, k)
+		}
+		sizes[c]++
+	}
+	if k == 1 {
+		return 0, nil // a single cluster has no silhouette structure
+	}
+	// sums[i][c] = Σ distance from point i to every point of cluster c.
+	var total float64
+	sums := make([]float64, k)
+	for i, p := range points {
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += dist(p, q)
+		}
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // singleton: silhouette 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // every other cluster empty
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}
+
+// ChooseK runs k-means for each k in [kMin, kMax] and returns the k whose
+// best-of-restarts clustering maximizes the silhouette coefficient — a
+// standard model-selection recipe for "how many regions does this table
+// have?", entirely on sketch-space distances when dist is sketched.
+func ChooseK(points [][]float64, dist DistFunc, kMin, kMax, restarts int, seed uint64) (bestK int, bestScore float64, err error) {
+	if kMin < 2 || kMax < kMin {
+		return 0, 0, fmt.Errorf("cluster: ChooseK range [%d, %d] invalid (need 2 <= kMin <= kMax)", kMin, kMax)
+	}
+	if kMax > len(points) {
+		return 0, 0, fmt.Errorf("cluster: kMax %d exceeds %d points", kMax, len(points))
+	}
+	bestScore = math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		res, err := BestOf(restarts, seed+uint64(k)*1009, func(s uint64) (*Result, error) {
+			return KMeans(points, dist, Config{K: k, Seed: s, Init: InitPlusPlus})
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		score, err := Silhouette(points, res.Assign, k, dist)
+		if err != nil {
+			return 0, 0, err
+		}
+		if score > bestScore {
+			bestK, bestScore = k, score
+		}
+	}
+	return bestK, bestScore, nil
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	points, truth := blobs(rng, [][]float64{{0, 0}, {100, 100}}, 20, 0.5)
+	s, err := Silhouette(points, truth, 2, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.95 {
+		t.Errorf("well-separated silhouette %v, want ~1", s)
+	}
+}
+
+func TestSilhouetteMisassignedIsLower(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	points, truth := blobs(rng, [][]float64{{0, 0}, {50, 50}}, 15, 1)
+	good, err := Silhouette(points, truth, 2, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap a handful of labels.
+	bad := append([]int(nil), truth...)
+	for i := 0; i < 5; i++ {
+		bad[i] = 1 - bad[i]
+	}
+	worse, err := Silhouette(points, bad, 2, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse >= good {
+		t.Errorf("misassigned silhouette %v not below clean %v", worse, good)
+	}
+}
+
+func TestSilhouetteRandomLabelsNearZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// One homogeneous blob with arbitrary labels: no structure, s ≈ 0.
+	points, _ := blobs(rng, [][]float64{{0, 0}}, 60, 5)
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = rng.IntN(3)
+	}
+	s, err := Silhouette(points, labels, 3, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s) > 0.15 {
+		t.Errorf("structureless silhouette %v, want ~0", s)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}}
+	s, err := Silhouette(points, []int{0, 0, 0}, 1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("single-cluster silhouette %v, want 0", s)
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	points := [][]float64{{0}, {10}, {20}}
+	s, err := Silhouette(points, []int{0, 1, 2}, 3, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("all-singleton silhouette %v, want 0 by convention", s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := Silhouette(nil, nil, 1, l2); err == nil {
+		t.Error("empty: expected error")
+	}
+	if _, err := Silhouette(pts, []int{0}, 1, l2); err == nil {
+		t.Error("assignment length: expected error")
+	}
+	if _, err := Silhouette(pts, []int{0, 0}, 0, l2); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := Silhouette(pts, []int{0, 5}, 2, l2); err == nil {
+		t.Error("label range: expected error")
+	}
+	if _, err := Silhouette(pts, []int{0, 0}, 1, nil); err == nil {
+		t.Error("nil dist: expected error")
+	}
+}
+
+func TestChooseKFindsTrueK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	points, _ := blobs(rng, [][]float64{{0, 0}, {60, 0}, {0, 60}, {60, 60}}, 15, 1)
+	k, score, err := ChooseK(points, l2, 2, 7, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Errorf("ChooseK = %d (score %v), want 4", k, score)
+	}
+	if score < 0.8 {
+		t.Errorf("winning silhouette %v suspiciously low", score)
+	}
+}
+
+func TestChooseKErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	if _, _, err := ChooseK(pts, l2, 1, 3, 1, 1); err == nil {
+		t.Error("kMin<2: expected error")
+	}
+	if _, _, err := ChooseK(pts, l2, 3, 2, 1, 1); err == nil {
+		t.Error("kMax<kMin: expected error")
+	}
+	if _, _, err := ChooseK(pts, l2, 2, 9, 1, 1); err == nil {
+		t.Error("kMax>n: expected error")
+	}
+	if _, _, err := ChooseK(pts, l2, 2, 3, 0, 1); err == nil {
+		t.Error("restarts 0: expected error")
+	}
+}

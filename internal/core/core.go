@@ -1,0 +1,54 @@
+// Package core implements the paper's primary contribution: sketches for
+// approximating Lp distances (0 < p ≤ 2) between subtables of massive
+// tabular data.
+//
+// The pieces map onto the paper as follows:
+//
+//   - Sketcher — Section 3.2, Theorems 1–2. k random matrices with entries
+//     drawn from a symmetric p-stable distribution; the sketch of a tile is
+//     the vector of k dot products; the distance estimate is the median of
+//     absolute sketch differences divided by the scaling factor B(p) (for
+//     p = 2, the faster Euclidean special case the paper mentions in §4.4).
+//
+//   - PlaneSet / Sketcher.AllPositions — Section 3.3, Theorem 3. Sketch
+//     entries for a fixed tile size at *every* position of the table,
+//     computed as 2D cross-correlations in O(N log M) via FFT.
+//
+//   - Pool — Definition 4, Theorems 5–6. Plane sets for a canonical
+//     collection of dyadic tile sizes, four independent sets per size, from
+//     which a compound sketch of an *arbitrary* rectangle is assembled in
+//     O(k) by summing four overlapping dyadic sketches.
+//
+//   - Cache — the "sketch on demand" scenario of Section 4.4: sketches are
+//     computed naively the first time a tile is touched and reused for
+//     every later comparison.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// KForAccuracy returns a sketch size k = O(ε⁻² log 1/δ) sufficient for a
+// (1 ± ε) estimate with probability 1 − δ (Theorem 1). The constant 2
+// follows the standard median-amplification analysis; the paper leaves the
+// constant to experiment, and the accuracy experiments (fig2acc) sweep k
+// directly.
+func KForAccuracy(eps, delta float64) (int, error) {
+	if !(eps > 0) || eps >= 1 {
+		return 0, fmt.Errorf("core: eps %v outside (0, 1)", eps)
+	}
+	if !(delta > 0) || delta >= 1 {
+		return 0, fmt.Errorf("core: delta %v outside (0, 1)", delta)
+	}
+	k := int(math.Ceil(2 / (eps * eps) * math.Log(1/delta)))
+	if k < 1 {
+		k = 1
+	}
+	// Odd k makes the median a single order statistic, slightly tightening
+	// the estimator for heavy-tailed sketch differences.
+	if k%2 == 0 {
+		k++
+	}
+	return k, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// TileSketchSet maintains the sketches of every tile of a grid under
+// point updates to the underlying table. Because the sketch map is linear
+// (each entry is a dot product with a fixed random matrix), changing one
+// cell by δ changes each sketch entry of the covering tile by
+// δ·R[i][localPos] — an O(k) update, independent of tile size.
+//
+// This is the streaming side of the paper's setting: tabular data is
+// "generated at the rate of several terabytes a month", and sketches must
+// stay current as new readings arrive without re-reading whole tiles.
+type TileSketchSet struct {
+	sk       *Sketcher
+	grid     *table.Grid
+	t        *table.Table
+	sketches [][]float64
+	updates  int64
+}
+
+// NewTileSketchSet sketches every tile of t under g using sk (whose tile
+// size must match the grid's) and returns the maintained set.
+func NewTileSketchSet(t *table.Table, g *table.Grid, sk *Sketcher) (*TileSketchSet, error) {
+	if g.TileRows() != sk.Rows() || g.TileCols() != sk.Cols() {
+		return nil, fmt.Errorf("core: grid tiles %dx%d but sketcher built for %dx%d",
+			g.TileRows(), g.TileCols(), sk.Rows(), sk.Cols())
+	}
+	set := &TileSketchSet{
+		sk:       sk,
+		grid:     g,
+		t:        t,
+		sketches: make([][]float64, g.NumTiles()),
+	}
+	buf := make([]float64, sk.Rows()*sk.Cols())
+	for i := range set.sketches {
+		buf = t.Linearize(g.Rect(i), buf)
+		set.sketches[i] = sk.Sketch(buf, nil)
+	}
+	return set, nil
+}
+
+// Sketch returns the current sketch of tile i. The returned slice aliases
+// internal state; callers must not modify it.
+func (s *TileSketchSet) Sketch(i int) []float64 { return s.sketches[i] }
+
+// NumTiles returns the number of maintained tiles.
+func (s *TileSketchSet) NumTiles() int { return s.grid.NumTiles() }
+
+// Updates returns how many point updates have been applied.
+func (s *TileSketchSet) Updates() int64 { return s.updates }
+
+// Set writes value into table cell (r, c) and incrementally updates the
+// covering tile's sketch in O(k). Cells outside any full tile (the
+// grid's dropped trailing remainder) update the table only.
+func (s *TileSketchSet) Set(r, c int, value float64) {
+	old := s.t.At(r, c)
+	s.t.Set(r, c, value)
+	s.updates++
+	delta := value - old
+	if delta == 0 {
+		return
+	}
+	tr, tc := r/s.grid.TileRows(), c/s.grid.TileCols()
+	if tr >= s.grid.GridRows() || tc >= s.grid.GridCols() {
+		return // cell lies in the dropped partial-tile margin
+	}
+	tile := s.grid.Index(tr, tc)
+	local := (r-tr*s.grid.TileRows())*s.grid.TileCols() + (c - tc*s.grid.TileCols())
+	sketch := s.sketches[tile]
+	for i := 0; i < s.sk.K(); i++ {
+		sketch[i] += delta * s.sk.Matrix(i)[local]
+	}
+}
+
+// Add adds delta to cell (r, c), updating the covering sketch.
+func (s *TileSketchSet) Add(r, c int, delta float64) {
+	s.Set(r, c, s.t.At(r, c)+delta)
+}
+
+// Distance estimates the Lp distance between tiles i and j from their
+// maintained sketches.
+func (s *TileSketchSet) Distance(i, j int) float64 {
+	return s.sk.Distance(s.sketches[i], s.sketches[j])
+}
+
+// Resketch recomputes tile i's sketch from the table, discarding the
+// incrementally maintained one — useful for bounding floating-point drift
+// after very long update streams (tests show drift is negligible, but a
+// long-lived service may want periodic refresh).
+func (s *TileSketchSet) Resketch(i int) {
+	buf := s.t.Linearize(s.grid.Rect(i), nil)
+	s.sketches[i] = s.sk.Sketch(buf, s.sketches[i])
+}

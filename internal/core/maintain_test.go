@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func newMaintained(t *testing.T, rows, cols, tileEdge, k int) (*TileSketchSet, *table.Table, *table.Grid, *Sketcher) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	tb := randTable(rng, rows, cols)
+	g, err := table.NewGrid(rows, cols, tileEdge, tileEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewSketcher(1, k, tileEdge, tileEdge, 77, EstimatorAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewTileSketchSet(tb, g, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, tb, g, sk
+}
+
+func TestNewTileSketchSetValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	tb := randTable(rng, 8, 8)
+	g, _ := table.NewGrid(8, 8, 4, 4)
+	sk, _ := NewSketcher(1, 4, 2, 2, 5, EstimatorAuto) // wrong tile size
+	if _, err := NewTileSketchSet(tb, g, sk); err == nil {
+		t.Error("expected tile-size mismatch error")
+	}
+}
+
+func TestTileSketchSetInitialSketchesMatchDirect(t *testing.T) {
+	set, tb, g, sk := newMaintained(t, 12, 12, 4, 6)
+	for i := 0; i < set.NumTiles(); i++ {
+		want := sk.Sketch(tb.Linearize(g.Rect(i), nil), nil)
+		got := set.Sketch(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("tile %d entry %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTileSketchSetUpdateMatchesResketch(t *testing.T) {
+	set, tb, g, sk := newMaintained(t, 12, 12, 4, 8)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for step := 0; step < 500; step++ {
+		r, c := rng.IntN(12), rng.IntN(12)
+		if rng.IntN(2) == 0 {
+			set.Set(r, c, rng.NormFloat64()*50)
+		} else {
+			set.Add(r, c, rng.NormFloat64()*10)
+		}
+	}
+	if set.Updates() != 500 {
+		t.Errorf("Updates = %d, want 500", set.Updates())
+	}
+	for i := 0; i < set.NumTiles(); i++ {
+		want := sk.Sketch(tb.Linearize(g.Rect(i), nil), nil)
+		got := set.Sketch(i)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-8*(1+math.Abs(want[j])) {
+				t.Fatalf("after updates, tile %d entry %d drifted: %v vs %v",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTileSketchSetNoOpUpdate(t *testing.T) {
+	set, tb, _, _ := newMaintained(t, 8, 8, 4, 4)
+	before := append([]float64(nil), set.Sketch(0)...)
+	set.Set(1, 1, tb.At(1, 1)) // same value: delta 0
+	after := set.Sketch(0)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("no-op update changed sketch")
+		}
+	}
+}
+
+func TestTileSketchSetMarginCells(t *testing.T) {
+	// 10x10 table with 4x4 tiles: rows/cols 8,9 are in the dropped margin.
+	set, tb, _, _ := newMaintained(t, 10, 10, 4, 4)
+	sketches := make([][]float64, set.NumTiles())
+	for i := range sketches {
+		sketches[i] = append([]float64(nil), set.Sketch(i)...)
+	}
+	set.Set(9, 9, 1234)
+	if tb.At(9, 9) != 1234 {
+		t.Error("margin update did not reach the table")
+	}
+	for i := range sketches {
+		got := set.Sketch(i)
+		for j := range sketches[i] {
+			if sketches[i][j] != got[j] {
+				t.Fatal("margin update changed a tile sketch")
+			}
+		}
+	}
+}
+
+func TestTileSketchSetDistance(t *testing.T) {
+	set, tb, g, sk := newMaintained(t, 8, 8, 4, 301)
+	want := sk.Distance(
+		sk.Sketch(tb.Linearize(g.Rect(0), nil), nil),
+		sk.Sketch(tb.Linearize(g.Rect(3), nil), nil))
+	if got := set.Distance(0, 3); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("Distance = %v, want %v", got, want)
+	}
+}
+
+func TestTileSketchSetResketch(t *testing.T) {
+	set, _, _, _ := newMaintained(t, 8, 8, 4, 4)
+	set.Add(0, 0, 5)
+	before := append([]float64(nil), set.Sketch(0)...)
+	set.Resketch(0)
+	after := set.Sketch(0)
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9*(1+math.Abs(after[i])) {
+			t.Fatalf("Resketch diverged from maintained sketch at %d: %v vs %v",
+				i, before[i], after[i])
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Persistence for precomputed sketches. The paper's fastest scenario
+// assumes "sketches have been precomputed"; for that to survive process
+// restarts (the preprocessing is the expensive step) pools and plane sets
+// serialize to a compact binary format. Random matrices are NOT stored —
+// they regenerate deterministically from the recorded (p, k, dims, seed,
+// estimator) parameters — so a saved pool is just parameters plus the
+// correlation payloads.
+
+var (
+	planeMagic = [4]byte{'S', 'K', 'P', 'L'}
+	poolMagic  = [4]byte{'S', 'K', 'P', 'O'}
+)
+
+const persistVersion = 1
+
+type leWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (lw *leWriter) u32(v uint32) {
+	if lw.err == nil {
+		lw.err = binary.Write(lw.w, binary.LittleEndian, v)
+	}
+}
+
+func (lw *leWriter) u64(v uint64) {
+	if lw.err == nil {
+		lw.err = binary.Write(lw.w, binary.LittleEndian, v)
+	}
+}
+
+func (lw *leWriter) f64(v float64) { lw.u64(math.Float64bits(v)) }
+
+func (lw *leWriter) floats(vs []float64) {
+	if lw.err != nil {
+		return
+	}
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := lw.w.Write(buf[:]); err != nil {
+			lw.err = err
+			return
+		}
+	}
+}
+
+type leReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (lr *leReader) u32() uint32 {
+	var v uint32
+	if lr.err == nil {
+		lr.err = binary.Read(lr.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (lr *leReader) u64() uint64 {
+	var v uint64
+	if lr.err == nil {
+		lr.err = binary.Read(lr.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (lr *leReader) f64() float64 { return math.Float64frombits(lr.u64()) }
+
+func (lr *leReader) floats(dst []float64) {
+	if lr.err != nil {
+		return
+	}
+	var buf [8]byte
+	for i := range dst {
+		if _, err := io.ReadFull(lr.r, buf[:]); err != nil {
+			lr.err = err
+			return
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+}
+
+// sketcherParams serializes what is needed to rebuild a Sketcher.
+func writeSketcherParams(lw *leWriter, sk *Sketcher) {
+	lw.f64(sk.p)
+	lw.u64(uint64(sk.k))
+	lw.u64(uint64(sk.rows))
+	lw.u64(uint64(sk.cols))
+	lw.u64(sk.seed)
+	lw.u32(uint32(sk.estimator))
+}
+
+func readSketcher(lr *leReader) (*Sketcher, error) {
+	p := lr.f64()
+	k := int(lr.u64())
+	rows := int(lr.u64())
+	cols := int(lr.u64())
+	seed := lr.u64()
+	est := Estimator(lr.u32())
+	if lr.err != nil {
+		return nil, lr.err
+	}
+	if k <= 0 || k > 1<<24 || rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<24 {
+		return nil, fmt.Errorf("core: implausible sketcher params k=%d dims=%dx%d", k, rows, cols)
+	}
+	return NewSketcher(p, k, rows, cols, seed, est)
+}
+
+// SavePlaneSet writes ps (parameters + position-major payload).
+func SavePlaneSet(w io.Writer, ps *PlaneSet) error {
+	bw := bufio.NewWriter(w)
+	lw := &leWriter{w: bw}
+	if _, err := bw.Write(planeMagic[:]); err != nil {
+		return fmt.Errorf("core: writing plane set: %w", err)
+	}
+	lw.u32(persistVersion)
+	writeSketcherParams(lw, ps.sk)
+	lw.u64(uint64(ps.rows))
+	lw.u64(uint64(ps.cols))
+	lw.floats(ps.data)
+	if lw.err != nil {
+		return fmt.Errorf("core: writing plane set: %w", lw.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: writing plane set: %w", err)
+	}
+	return nil
+}
+
+// LoadPlaneSet reads a plane set saved by SavePlaneSet, regenerating its
+// Sketcher from the stored parameters.
+func LoadPlaneSet(r io.Reader) (*PlaneSet, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading plane set: %w", err)
+	}
+	if magic != planeMagic {
+		return nil, fmt.Errorf("core: bad plane-set magic %q", magic[:])
+	}
+	lr := &leReader{r: br}
+	if v := lr.u32(); lr.err == nil && v != persistVersion {
+		return nil, fmt.Errorf("core: unsupported plane-set version %d", v)
+	}
+	sk, err := readSketcher(lr)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading plane set: %w", err)
+	}
+	rows := int(lr.u64())
+	cols := int(lr.u64())
+	if lr.err != nil {
+		return nil, fmt.Errorf("core: reading plane set: %w", lr.err)
+	}
+	if rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<24 {
+		return nil, fmt.Errorf("core: implausible plane-set dims %dx%d", rows, cols)
+	}
+	ps := &PlaneSet{sk: sk, rows: rows, cols: cols, data: make([]float64, rows*cols*sk.k)}
+	lr.floats(ps.data)
+	if lr.err != nil {
+		return nil, fmt.Errorf("core: reading plane set payload: %w", lr.err)
+	}
+	return ps, nil
+}
+
+// SavePool writes a pool (parameters + every plane set payload). Sizes
+// are written in sorted key order so output is deterministic.
+func SavePool(w io.Writer, pl *Pool) error {
+	bw := bufio.NewWriter(w)
+	lw := &leWriter{w: bw}
+	if _, err := bw.Write(poolMagic[:]); err != nil {
+		return fmt.Errorf("core: writing pool: %w", err)
+	}
+	lw.u32(persistVersion)
+	lw.f64(pl.p)
+	lw.u64(uint64(pl.k))
+	lw.u64(uint64(pl.rows))
+	lw.u64(uint64(pl.cols))
+	lw.u64(pl.seed)
+	lw.u32(uint32(pl.opts.MinLogRows))
+	lw.u32(uint32(pl.opts.MaxLogRows))
+	lw.u32(uint32(pl.opts.MinLogCols))
+	lw.u32(uint32(pl.opts.MaxLogCols))
+	lw.u32(uint32(pl.opts.Estimator))
+	keys := make([][2]int, 0, len(pl.entries))
+	for key := range pl.entries {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, key := range keys {
+		for _, ps := range pl.entries[key] {
+			lw.floats(ps.data)
+		}
+	}
+	if lw.err != nil {
+		return fmt.Errorf("core: writing pool: %w", lw.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: writing pool: %w", err)
+	}
+	return nil
+}
+
+// LoadPool reads a pool saved by SavePool, rebuilding each Sketcher from
+// the recorded seed derivation and restoring the correlation payloads
+// without recomputation.
+func LoadPool(r io.Reader) (*Pool, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading pool: %w", err)
+	}
+	if magic != poolMagic {
+		return nil, fmt.Errorf("core: bad pool magic %q", magic[:])
+	}
+	lr := &leReader{r: br}
+	if v := lr.u32(); lr.err == nil && v != persistVersion {
+		return nil, fmt.Errorf("core: unsupported pool version %d", v)
+	}
+	pl := &Pool{entries: make(map[[2]int][compoundSets]*PlaneSet)}
+	pl.p = lr.f64()
+	pl.k = int(lr.u64())
+	pl.rows = int(lr.u64())
+	pl.cols = int(lr.u64())
+	pl.seed = lr.u64()
+	pl.opts.MinLogRows = int(lr.u32())
+	pl.opts.MaxLogRows = int(lr.u32())
+	pl.opts.MinLogCols = int(lr.u32())
+	pl.opts.MaxLogCols = int(lr.u32())
+	pl.opts.Estimator = Estimator(lr.u32())
+	if lr.err != nil {
+		return nil, fmt.Errorf("core: reading pool header: %w", lr.err)
+	}
+	if pl.k <= 0 || pl.k > 1<<24 || pl.rows <= 0 || pl.cols <= 0 ||
+		pl.rows > 1<<24 || pl.cols > 1<<24 ||
+		pl.opts.MinLogRows < 0 || pl.opts.MinLogRows > pl.opts.MaxLogRows ||
+		pl.opts.MinLogCols < 0 || pl.opts.MinLogCols > pl.opts.MaxLogCols ||
+		1<<pl.opts.MaxLogRows > pl.rows || 1<<pl.opts.MaxLogCols > pl.cols {
+		return nil, fmt.Errorf("core: implausible pool header %+v (%dx%d, k=%d)",
+			pl.opts, pl.rows, pl.cols, pl.k)
+	}
+	for i := pl.opts.MinLogRows; i <= pl.opts.MaxLogRows; i++ {
+		for j := pl.opts.MinLogCols; j <= pl.opts.MaxLogCols; j++ {
+			var sets [compoundSets]*PlaneSet
+			for s := 0; s < compoundSets; s++ {
+				sk, err := NewSketcher(pl.p, pl.k, 1<<i, 1<<j,
+					poolSketcherSeed(pl.seed, i, j, s), pl.opts.Estimator)
+				if err != nil {
+					return nil, fmt.Errorf("core: rebuilding pool sketcher: %w", err)
+				}
+				ps := &PlaneSet{
+					sk:   sk,
+					rows: pl.rows - 1<<i + 1,
+					cols: pl.cols - 1<<j + 1,
+				}
+				ps.data = make([]float64, ps.rows*ps.cols*pl.k)
+				lr.floats(ps.data)
+				if lr.err != nil {
+					return nil, fmt.Errorf("core: reading pool payload: %w", lr.err)
+				}
+				sets[s] = ps
+			}
+			pl.entries[[2]int{i, j}] = sets
+		}
+	}
+	return pl, nil
+}

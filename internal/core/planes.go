@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/table"
+)
+
+// PlaneSet holds, for one Sketcher (one tile size, one set of k random
+// matrices), the sketch entries for every position at which the tile fits
+// inside a table: entry i at position (r, c) is the dot product of random
+// matrix i with the tile whose top-left corner is (r, c). This is the
+// precomputed pool of Theorem 3 from which any aligned sketch is read in
+// O(k) time.
+//
+// Storage is position-major (the k entries of one position are adjacent),
+// so reading a sketch is a single contiguous copy rather than k strided
+// reads across k correlation planes — reading sketches is the hot path of
+// every precomputed-distance query.
+type PlaneSet struct {
+	sk         *Sketcher
+	rows, cols int       // valid positions: tableRows-a+1 × tableCols-b+1
+	data       []float64 // data[(r*cols+c)*k + i]
+}
+
+// AllPositions computes the PlaneSet of s over t using FFT
+// cross-correlation (Theorem 3, O(k·N·log N) total).
+func (s *Sketcher) AllPositions(t *table.Table) *PlaneSet {
+	return s.allPositions(t, true)
+}
+
+// AllPositionsNaive is the O(k·N·M) direct-computation baseline, kept for
+// verification and for the Theorem 3 crossover benchmark.
+func (s *Sketcher) AllPositionsNaive(t *table.Table) *PlaneSet {
+	return s.allPositions(t, false)
+}
+
+func (s *Sketcher) allPositions(t *table.Table, useFFT bool) *PlaneSet {
+	if s.rows > t.Rows() || s.cols > t.Cols() {
+		panic(fmt.Sprintf("core: tile %dx%d larger than table %dx%d",
+			s.rows, s.cols, t.Rows(), t.Cols()))
+	}
+	ps := &PlaneSet{
+		sk:   s,
+		rows: t.Rows() - s.rows + 1,
+		cols: t.Cols() - s.cols + 1,
+	}
+	positions := ps.rows * ps.cols
+	ps.data = make([]float64, positions*s.k)
+	for i := 0; i < s.k; i++ {
+		var plane []float64
+		if useFFT {
+			plane = fft.CrossCorrelateValid(
+				t.Data(), t.Rows(), t.Cols(), s.mats[i], s.rows, s.cols)
+		} else {
+			plane = fft.CrossCorrelateValidNaive(
+				t.Data(), t.Rows(), t.Cols(), s.mats[i], s.rows, s.cols)
+		}
+		// Transpose into position-major storage.
+		for pos, v := range plane {
+			ps.data[pos*s.k+i] = v
+		}
+	}
+	return ps
+}
+
+// Sketcher returns the sketcher whose matrices produced this plane set.
+func (ps *PlaneSet) Sketcher() *Sketcher { return ps.sk }
+
+// Positions returns the number of valid (row, col) anchor positions.
+func (ps *PlaneSet) Positions() (rows, cols int) { return ps.rows, ps.cols }
+
+// SketchAt reads the sketch of the tile anchored at (r, c) into dst
+// (allocated if too small) in O(k) time.
+func (ps *PlaneSet) SketchAt(r, c int, dst []float64) []float64 {
+	if r < 0 || r >= ps.rows || c < 0 || c >= ps.cols {
+		panic(fmt.Sprintf("core: anchor (%d,%d) outside valid positions %dx%d",
+			r, c, ps.rows, ps.cols))
+	}
+	k := ps.sk.k
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	}
+	dst = dst[:k]
+	base := (r*ps.cols + c) * k
+	copy(dst, ps.data[base:base+k])
+	return dst
+}
+
+// AddSketchAt accumulates the sketch at (r, c) into dst (len k), used to
+// assemble compound sketches without temporaries.
+func (ps *PlaneSet) AddSketchAt(r, c int, dst []float64) {
+	if r < 0 || r >= ps.rows || c < 0 || c >= ps.cols {
+		panic(fmt.Sprintf("core: anchor (%d,%d) outside valid positions %dx%d",
+			r, c, ps.rows, ps.cols))
+	}
+	if len(dst) != ps.sk.k {
+		panic(fmt.Sprintf("core: AddSketchAt dst length %d != k=%d", len(dst), ps.sk.k))
+	}
+	base := (r*ps.cols + c) * ps.sk.k
+	for i := range dst {
+		dst[i] += ps.data[base+i]
+	}
+}
+
+// Distance estimates the Lp distance between the tiles anchored at
+// (r1, c1) and (r2, c2) without materializing sketch vectors.
+func (ps *PlaneSet) Distance(r1, c1, r2, c2 int) float64 {
+	k := ps.sk.k
+	a := ps.SketchAt(r1, c1, make([]float64, k))
+	b := ps.SketchAt(r2, c2, make([]float64, k))
+	return ps.sk.DistanceScratch(a, b, make([]float64, k))
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// compoundSets is the number of independent sketch sets per dyadic size.
+// Definition 4 tiles an arbitrary rectangle with four overlapping dyadic
+// rectangles, each of which must come from an independent set so the
+// summed sketch remains a stable-projection sketch.
+const compoundSets = 4
+
+// PoolOptions configures which canonical dyadic tile sizes a Pool
+// precomputes. All (2^i)×(2^j) sizes with MinLogRows ≤ i ≤ MaxLogRows and
+// MinLogCols ≤ j ≤ MaxLogCols are built. The zero value is not valid;
+// use DefaultPoolOptions for a table-appropriate default.
+type PoolOptions struct {
+	MinLogRows, MaxLogRows int
+	MinLogCols, MaxLogCols int
+	Estimator              Estimator
+	// Workers bounds the goroutines building plane sets concurrently.
+	// 0 means GOMAXPROCS; 1 forces serial construction. Results are
+	// identical regardless (each plane set's randomness is seed-derived).
+	Workers int
+}
+
+// DefaultPoolOptions covers every dyadic size from 2×2 up to the largest
+// that fits the table — the paper's full canonical collection
+// (Theorem 6 builds all O(log² N) sizes).
+func DefaultPoolOptions(t *table.Table) PoolOptions {
+	return PoolOptions{
+		MinLogRows: 1, MaxLogRows: log2Floor(t.Rows()),
+		MinLogCols: 1, MaxLogCols: log2Floor(t.Cols()),
+	}
+}
+
+func log2Floor(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("core: log2Floor(%d)", n))
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// Pool holds precomputed sketch plane sets for a canonical collection of
+// dyadic tile sizes over one table (Theorem 6). It answers sketch and
+// distance queries for arbitrary rectangles in O(k) time: exactly-dyadic
+// rectangles read a single precomputed sketch; all others assemble a
+// compound sketch from four overlapping dyadic sketches (Definition 4,
+// Theorem 5, a 4(1+ε)-approximation).
+type Pool struct {
+	p          float64
+	k          int
+	rows, cols int // table dims
+	seed       uint64
+	opts       PoolOptions
+	entries    map[[2]int][compoundSets]*PlaneSet
+}
+
+// NewPool precomputes plane sets for every configured dyadic size over t.
+// Each size gets four independent Sketcher instances (seed-derived), so
+// compound sketches satisfy the independence requirement of Theorem 5.
+//
+// Cost: O(compoundSets · k · N log N) time per size and
+// compoundSets · k · N floats of memory per size, N = t.Size(). Callers
+// with big tables should restrict the size range in opts.
+func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*Pool, error) {
+	if opts.MinLogRows < 0 || opts.MinLogCols < 0 ||
+		opts.MinLogRows > opts.MaxLogRows || opts.MinLogCols > opts.MaxLogCols {
+		return nil, fmt.Errorf("core: invalid pool size range %+v", opts)
+	}
+	if 1<<opts.MaxLogRows > t.Rows() || 1<<opts.MaxLogCols > t.Cols() {
+		return nil, fmt.Errorf("core: pool max dyadic size %dx%d exceeds table %dx%d",
+			1<<opts.MaxLogRows, 1<<opts.MaxLogCols, t.Rows(), t.Cols())
+	}
+	pl := &Pool{
+		p: p, k: k, rows: t.Rows(), cols: t.Cols(), seed: seed, opts: opts,
+		entries: make(map[[2]int][compoundSets]*PlaneSet),
+	}
+	// Validate the sketcher configuration once up front so worker errors
+	// can only be programming bugs, not user-input ones.
+	if _, err := NewSketcher(p, k, 1<<opts.MinLogRows, 1<<opts.MinLogCols, seed, opts.Estimator); err != nil {
+		return nil, err
+	}
+
+	type job struct{ i, j, s int }
+	var jobs []job
+	for i := opts.MinLogRows; i <= opts.MaxLogRows; i++ {
+		for j := opts.MinLogCols; j <= opts.MaxLogCols; j++ {
+			pl.entries[[2]int{i, j}] = [compoundSets]*PlaneSet{}
+			for s := 0; s < compoundSets; s++ {
+				jobs = append(jobs, job{i, j, s})
+			}
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobCh := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobCh {
+				// Distinct deterministic seed per (size, set): results do
+				// not depend on scheduling.
+				sk, err := NewSketcher(p, k, 1<<jb.i, 1<<jb.j,
+					poolSketcherSeed(seed, jb.i, jb.j, jb.s), opts.Estimator)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				ps := sk.AllPositions(t)
+				mu.Lock()
+				sets := pl.entries[[2]int{jb.i, jb.j}]
+				sets[jb.s] = ps
+				pl.entries[[2]int{jb.i, jb.j}] = sets
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		jobCh <- jb
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pl, nil
+}
+
+// P returns the Lp exponent of the pool's sketches.
+func (pl *Pool) P() float64 { return pl.p }
+
+// K returns the sketch size.
+func (pl *Pool) K() int { return pl.k }
+
+// NumSizes returns how many dyadic sizes the pool holds.
+func (pl *Pool) NumSizes() int { return len(pl.entries) }
+
+// poolSketcherSeed derives the deterministic per-(size, set) seed; saved
+// pools rely on this derivation staying stable across versions.
+func poolSketcherSeed(seed uint64, i, j, s int) uint64 {
+	return seed ^ uint64(i)<<40 ^ uint64(j)<<20 ^ uint64(s)<<4 ^ 0x9e3779b97f4a7c15
+}
+
+// dyadicFor returns the exponent e such that tile extent 2^e tiles a
+// rectangle extent of n (2^e ≤ n ≤ 2^(e+1)) within [minLog, maxLog],
+// or an error when no configured size can tile n.
+func dyadicFor(n, minLog, maxLog int) (int, error) {
+	if n < 1<<minLog {
+		return 0, fmt.Errorf("core: extent %d below smallest pooled dyadic size %d", n, 1<<minLog)
+	}
+	e := log2Floor(n)
+	if e > maxLog {
+		e = maxLog
+	}
+	if n > 2<<e {
+		return 0, fmt.Errorf("core: extent %d exceeds twice the largest pooled dyadic size %d", n, 1<<maxLog)
+	}
+	return e, nil
+}
+
+// CanSketch reports whether the pool covers rectangles with the given
+// extents (and, for the error path, why not).
+func (pl *Pool) CanSketch(rect table.Rect) error {
+	if !rect.In(pl.rows, pl.cols) {
+		return fmt.Errorf("core: rect %v outside table %dx%d", rect, pl.rows, pl.cols)
+	}
+	if _, err := dyadicFor(rect.Rows, pl.opts.MinLogRows, pl.opts.MaxLogRows); err != nil {
+		return err
+	}
+	if _, err := dyadicFor(rect.Cols, pl.opts.MinLogCols, pl.opts.MaxLogCols); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Sketch returns the pool sketch of rect in O(k) time: the exact dyadic
+// sketch when rect is exactly a pooled dyadic size, otherwise the
+// compound sketch of Definition 4 (sum of four overlapping dyadic
+// sketches from the four independent sets).
+//
+// Sketches returned for equal-size rectangles are mutually comparable
+// with Distance; comparing sketches of different-size rectangles is
+// meaningless (as is their exact Lp distance).
+func (pl *Pool) Sketch(rect table.Rect, dst []float64) ([]float64, error) {
+	if err := pl.CanSketch(rect); err != nil {
+		return nil, err
+	}
+	ei, _ := dyadicFor(rect.Rows, pl.opts.MinLogRows, pl.opts.MaxLogRows)
+	ej, _ := dyadicFor(rect.Cols, pl.opts.MinLogCols, pl.opts.MaxLogCols)
+	sets := pl.entries[[2]int{ei, ej}]
+	a, b := 1<<ei, 1<<ej
+	if cap(dst) < pl.k {
+		dst = make([]float64, pl.k)
+	}
+	dst = dst[:pl.k]
+	if rect.Rows == a && rect.Cols == b {
+		// Exact dyadic rectangle: one sketch, full Theorem 1/2 guarantee.
+		return sets[0].SketchAt(rect.R0, rect.C0, dst), nil
+	}
+	// Definition 4: tile the c×d rectangle with four a×b rectangles
+	// anchored at the four corners, one per independent set.
+	for i := range dst {
+		dst[i] = 0
+	}
+	r2 := rect.R0 + rect.Rows - a
+	c2 := rect.C0 + rect.Cols - b
+	sets[0].AddSketchAt(rect.R0, rect.C0, dst)
+	sets[1].AddSketchAt(r2, rect.C0, dst)
+	sets[2].AddSketchAt(rect.R0, c2, dst)
+	sets[3].AddSketchAt(r2, c2, dst)
+	return dst, nil
+}
+
+// IsExact reports whether rect hits a pooled dyadic size exactly, i.e.
+// whether Sketch returns a plain (non-compound) sketch with the full
+// (1 ± ε) guarantee.
+func (pl *Pool) IsExact(rect table.Rect) bool {
+	if pl.CanSketch(rect) != nil {
+		return false
+	}
+	ei, _ := dyadicFor(rect.Rows, pl.opts.MinLogRows, pl.opts.MaxLogRows)
+	ej, _ := dyadicFor(rect.Cols, pl.opts.MinLogCols, pl.opts.MaxLogCols)
+	return rect.Rows == 1<<ei && rect.Cols == 1<<ej
+}
+
+// Distance estimates the Lp distance between two equal-size rectangles
+// from their pool sketches. For exact dyadic rectangles this is a
+// (1 ± ε)-estimate (Theorems 1–2); otherwise it carries the compound
+// overcount of Theorem 5 (between 1× and ~4× the true distance), which
+// preserves relative comparisons between same-size rectangles.
+func (pl *Pool) Distance(a, b table.Rect) (float64, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, fmt.Errorf("core: distance between different-size rects %v and %v", a, b)
+	}
+	sa, err := pl.Sketch(a, nil)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := pl.Sketch(b, nil)
+	if err != nil {
+		return 0, err
+	}
+	ei, _ := dyadicFor(a.Rows, pl.opts.MinLogRows, pl.opts.MaxLogRows)
+	ej, _ := dyadicFor(a.Cols, pl.opts.MinLogCols, pl.opts.MaxLogCols)
+	sk := pl.entries[[2]int{ei, ej}][0].Sketcher()
+	return sk.DistanceScratch(sa, sb, make([]float64, pl.k)), nil
+}
+
+// MemoryBytes reports the approximate heap footprint of the pool's
+// precomputed payloads (plane-set data plus the regenerable random
+// matrices), the quantity to budget when choosing PoolOptions for big
+// tables.
+func (pl *Pool) MemoryBytes() int64 {
+	var total int64
+	for _, sets := range pl.entries {
+		for _, ps := range sets {
+			total += int64(len(ps.data)) * 8
+			sk := ps.sk
+			total += int64(sk.k) * int64(sk.rows) * int64(sk.cols) * 8
+		}
+	}
+	return total
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/quantile"
+	"repro/internal/stable"
+)
+
+// Estimator selects how a Sketcher turns two sketch vectors into a
+// distance estimate.
+type Estimator int
+
+const (
+	// EstimatorAuto picks EstimatorL2 when p == 2 and EstimatorMedian
+	// otherwise, matching the paper (§4.4: "a slightly different method is
+	// used for p = 2 ... faster ... rather than by running a median
+	// algorithm").
+	EstimatorAuto Estimator = iota
+	// EstimatorMedian is median(|s(x) − s(y)|) / B(p) (Theorems 1–2).
+	EstimatorMedian
+	// EstimatorL2 is sqrt(Σ(sᵢ(x) − sᵢ(y))² / k), valid only for p = 2
+	// where sketch entries are standard-normal dot products.
+	EstimatorL2
+)
+
+// Sketcher produces Lp sketches for tiles of one fixed size. It owns k
+// random rows×cols matrices with i.i.d. symmetric p-stable entries,
+// generated deterministically from a seed so that sketches from different
+// Sketcher instances with equal (p, k, dims, seed) are comparable.
+type Sketcher struct {
+	p          float64
+	k          int
+	rows, cols int
+	seed       uint64
+	mats       [][]float64 // k matrices, row-major rows*cols each
+	scale      float64     // B(p) = median |stable|
+	estimator  Estimator
+}
+
+// NewSketcher builds a Sketcher for p ∈ (0,2] with k sketch entries for
+// tiles of rows×cols cells. The estimator argument selects the distance
+// estimator; EstimatorAuto is the paper's behaviour.
+func NewSketcher(p float64, k, rows, cols int, seed uint64, estimator Estimator) (*Sketcher, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: sketch size k = %d must be positive", k)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("core: non-positive tile dims %dx%d", rows, cols)
+	}
+	dist, err := stable.New(p)
+	if err != nil {
+		return nil, err
+	}
+	if estimator == EstimatorL2 && p != 2 {
+		return nil, fmt.Errorf("core: EstimatorL2 requires p = 2, got p = %v", p)
+	}
+	if estimator == EstimatorAuto {
+		if p == 2 {
+			estimator = EstimatorL2
+		} else {
+			estimator = EstimatorMedian
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed, math.Float64bits(p)))
+	mats := make([][]float64, k)
+	for i := range mats {
+		mats[i] = make([]float64, rows*cols)
+		dist.Fill(rng, mats[i])
+	}
+	return &Sketcher{
+		p: p, k: k, rows: rows, cols: cols, seed: seed,
+		mats:      mats,
+		scale:     stable.MedianAbs(p),
+		estimator: estimator,
+	}, nil
+}
+
+// P returns the Lp exponent.
+func (s *Sketcher) P() float64 { return s.p }
+
+// K returns the number of sketch entries.
+func (s *Sketcher) K() int { return s.k }
+
+// Rows returns the tile height the sketcher was built for.
+func (s *Sketcher) Rows() int { return s.rows }
+
+// Cols returns the tile width the sketcher was built for.
+func (s *Sketcher) Cols() int { return s.cols }
+
+// Scale returns B(p), the median-of-absolute-value of the underlying
+// stable distribution used to unbias the median estimator.
+func (s *Sketcher) Scale() float64 { return s.scale }
+
+// Seed returns the seed the random matrices were generated from; two
+// Sketchers with equal (p, k, dims, seed, estimator) are interchangeable.
+func (s *Sketcher) Seed() uint64 { return s.seed }
+
+// EstimatorKind returns the resolved estimator (never EstimatorAuto).
+func (s *Sketcher) EstimatorKind() Estimator { return s.estimator }
+
+// Matrix returns the i-th random matrix (row-major, rows*cols), exposed so
+// the plane computation can correlate it against a full table.
+func (s *Sketcher) Matrix(i int) []float64 { return s.mats[i] }
+
+// Sketch computes the k dot products of the linearized tile with the
+// random matrices. vec must have length rows*cols. dst is reused when it
+// has capacity k; the sketch is returned.
+func (s *Sketcher) Sketch(vec []float64, dst []float64) []float64 {
+	if len(vec) != s.rows*s.cols {
+		panic(fmt.Sprintf("core: Sketch input length %d != %d*%d", len(vec), s.rows, s.cols))
+	}
+	if cap(dst) < s.k {
+		dst = make([]float64, s.k)
+	}
+	dst = dst[:s.k]
+	for i, m := range s.mats {
+		var dot float64
+		for j, v := range vec {
+			dot += v * m[j]
+		}
+		dst[i] = dot
+	}
+	return dst
+}
+
+// Distance estimates the Lp distance between the tiles whose sketches are
+// a and b. Both must have length k.
+func (s *Sketcher) Distance(a, b []float64) float64 {
+	return s.DistanceScratch(a, b, make([]float64, s.k))
+}
+
+// DistanceScratch is Distance with a caller-provided scratch buffer of
+// length k, eliminating the per-comparison allocation on hot paths
+// (a clustering run performs millions of comparisons).
+func (s *Sketcher) DistanceScratch(a, b, scratch []float64) float64 {
+	if len(a) != s.k || len(b) != s.k {
+		panic(fmt.Sprintf("core: sketch lengths %d/%d != k=%d", len(a), len(b), s.k))
+	}
+	switch s.estimator {
+	case EstimatorL2:
+		var sum float64
+		for i := range a {
+			d := a[i] - b[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(s.k))
+	default:
+		return quantile.AbsMedianDiff(a, b, scratch) / s.scale
+	}
+}
+
+// NormFromSketch estimates ‖x‖p of the tile whose sketch is a, using the
+// fact that the all-zeros tile has the all-zeros sketch.
+func (s *Sketcher) NormFromSketch(a []float64) float64 {
+	zero := make([]float64, s.k)
+	return s.DistanceScratch(a, zero, make([]float64, s.k))
+}

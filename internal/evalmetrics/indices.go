@@ -1,0 +1,100 @@
+package evalmetrics
+
+import "math"
+
+// This file adds the two standard external clustering indices beyond the
+// paper's confusion-matrix agreement: the Adjusted Rand Index and
+// Normalized Mutual Information. Both are label-permutation invariant, so
+// unlike Definition 10 they need no Hungarian matching, and both are
+// chance-corrected/normalized, which makes cross-k comparisons meaningful
+// (used by the cross-algorithm experiment).
+
+// AdjustedRand computes the Adjusted Rand Index between two labelings of
+// the same objects: 1 for identical partitions, ~0 for independent ones,
+// negative for adversarial disagreement. Labels must lie in [0, k).
+func AdjustedRand(a, b []int, k int) (float64, error) {
+	m, err := Confusion(a, b, k)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(len(a))
+	var sumCells, sumRows, sumCols float64
+	for i := 0; i < k; i++ {
+		var rowTotal float64
+		for j := 0; j < k; j++ {
+			sumCells += choose2(m[i][j])
+			rowTotal += m[i][j]
+		}
+		sumRows += choose2(rowTotal)
+	}
+	for j := 0; j < k; j++ {
+		var colTotal float64
+		for i := 0; i < k; i++ {
+			colTotal += m[i][j]
+		}
+		sumCols += choose2(colTotal)
+	}
+	expected := sumRows * sumCols / choose2(n)
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate partitions (e.g. both trivial): identical by
+		// convention.
+		return 1, nil
+	}
+	return (sumCells - expected) / (maxIndex - expected), nil
+}
+
+func choose2(x float64) float64 { return x * (x - 1) / 2 }
+
+// NMI computes Normalized Mutual Information between two labelings,
+// normalized by the arithmetic mean of the entropies: 1 for identical
+// partitions, 0 for independent ones. Labels must lie in [0, k).
+func NMI(a, b []int, k int) (float64, error) {
+	m, err := Confusion(a, b, k)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(len(a))
+	rowP := make([]float64, k)
+	colP := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			rowP[i] += m[i][j] / n
+			colP[j] += m[i][j] / n
+		}
+	}
+	var mi float64
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p := m[i][j] / n
+			if p > 0 {
+				mi += p * math.Log(p/(rowP[i]*colP[j]))
+			}
+		}
+	}
+	ha, hb := entropy(rowP), entropy(colP)
+	if ha == 0 && hb == 0 {
+		return 1, nil // both partitions trivial and therefore identical
+	}
+	// One trivial partition carries no information about the other:
+	// MI = 0 and the mean entropy is positive, so NMI is 0.
+	v := mi / ((ha + hb) / 2)
+	// Clamp float noise.
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+func entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,175 @@
+package evalmetrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAdjustedRandIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRand(a, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("ARI(identical) = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandPermutedLabels(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{2, 2, 0, 0, 1, 1}
+	got, err := AdjustedRand(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("ARI(permuted) = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandKnownValue(t *testing.T) {
+	// Classic textbook example (Hubert & Arabie style):
+	// a: {0,0,0,1,1,1}; b: {0,0,1,1,2,2}.
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRand(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: contingency rows {2,1,0},{0,1,2};
+	// Σ C(nij,2) = 1+0+0+0+0+1 = 2; rows: C(3,2)*2 = 6; cols: C(2,2)*3 = 3;
+	// expected = 6*3/C(6,2) = 18/15 = 1.2; max = (6+3)/2 = 4.5;
+	// ARI = (2-1.2)/(4.5-1.2) = 0.8/3.3 ≈ 0.242424...
+	want := 0.8 / 3.3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestAdjustedRandIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	n := 3000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.IntN(4)
+		b[i] = rng.IntN(4)
+	}
+	got, err := AdjustedRand(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.03 {
+		t.Errorf("ARI(independent) = %v, want ~0", got)
+	}
+}
+
+func TestAdjustedRandDegenerate(t *testing.T) {
+	a := []int{0, 0, 0}
+	got, err := AdjustedRand(a, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("ARI(trivial) = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandErrors(t *testing.T) {
+	if _, err := AdjustedRand([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+}
+
+func TestNMIIdenticalAndPermuted(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{1, 1, 2, 2, 0, 0}
+	got, err := NMI(a, a, 3)
+	if err != nil || got != 1 {
+		t.Errorf("NMI(identical) = %v, %v", got, err)
+	}
+	got, err = NMI(a, b, 3)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(permuted) = %v, %v", got, err)
+	}
+}
+
+func TestNMIIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 5000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.IntN(3)
+		b[i] = rng.IntN(3)
+	}
+	got, err := NMI(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.02 {
+		t.Errorf("NMI(independent) = %v, want ~0", got)
+	}
+}
+
+func TestNMIPartialOverlap(t *testing.T) {
+	// Half the objects move cluster: NMI strictly between 0 and 1.
+	a := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 1, 1, 0, 0}
+	got, err := NMI(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.05 { // independent-looking: each a-cluster splits evenly
+		t.Errorf("NMI(even split) = %v, want ~0", got)
+	}
+	c := []int{0, 0, 0, 1, 1, 1, 1, 1}
+	got, err = NMI(a, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.1 || got >= 1 {
+		t.Errorf("NMI(partial) = %v, want in (0.1, 1)", got)
+	}
+}
+
+func TestNMITrivialCases(t *testing.T) {
+	same := []int{0, 0, 0}
+	got, err := NMI(same, same, 1)
+	if err != nil || got != 1 {
+		t.Errorf("NMI(both trivial) = %v, %v", got, err)
+	}
+	other := []int{0, 1, 0}
+	got, err = NMI(same, other, 2)
+	if err != nil || got != 0 {
+		t.Errorf("NMI(one trivial) = %v, %v; want 0", got, err)
+	}
+}
+
+func TestNMIErrors(t *testing.T) {
+	if _, err := NMI([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := NMI([]int{5}, []int{0}, 2); err == nil {
+		t.Error("label out of range: expected error")
+	}
+}
+
+func TestIndicesAgreeOnOrdering(t *testing.T) {
+	// Both indices should rank a closer clustering above a farther one.
+	truth := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	close := []int{0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2} // 1 object moved
+	far := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}   // scrambled
+	ariClose, _ := AdjustedRand(truth, close, 3)
+	ariFar, _ := AdjustedRand(truth, far, 3)
+	nmiClose, _ := NMI(truth, close, 3)
+	nmiFar, _ := NMI(truth, far, 3)
+	if ariClose <= ariFar {
+		t.Errorf("ARI ordering wrong: close %v, far %v", ariClose, ariFar)
+	}
+	if nmiClose <= nmiFar {
+		t.Errorf("NMI ordering wrong: close %v, far %v", nmiClose, nmiFar)
+	}
+}

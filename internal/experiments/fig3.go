@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/evalmetrics"
+	"repro/internal/workload"
+)
+
+// Fig3Config drives the Figure 3 experiment: k-means (k = 20 in the
+// paper) over tiles of stitched multi-day data, sweeping the Lp exponent
+// p, under the three distance modes. Panel (a) is timing; panel (b) is
+// confusion-matrix agreement and clustering quality of the sketched runs
+// against the exact run.
+type Fig3Config struct {
+	PValues  []float64
+	Clusters int
+	SketchK  int
+	Stations int // table rows
+	Days     int // stitched days: columns = 144·Days
+	// Tiles are StationsPerTile × one day of buckets, the paper's
+	// "day's data for groups of 16 neighboring stations".
+	StationsPerTile int
+	Seed            uint64
+}
+
+// DefaultFig3Config mirrors the paper's sweep at laptop scale.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		PValues:         []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0},
+		Clusters:        20,
+		SketchK:         64,
+		Stations:        192,
+		Days:            4,
+		StationsPerTile: 16,
+		Seed:            42,
+	}
+}
+
+// Fig3Row is one value of p.
+type Fig3Row struct {
+	P               float64
+	TimeExact       time.Duration
+	TimePrecomputed time.Duration // clustering only (sketches ready)
+	TimeOnDemand    time.Duration // sketching + clustering
+	PrepTime        time.Duration // the sketch-build cost (≈constant in p)
+	Agreement       float64       // Definition 10 vs the exact clustering
+	Quality         float64       // Definition 11 (>1 = sketched better)
+}
+
+// RunFig3 executes the sweep.
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	if len(cfg.PValues) == 0 || cfg.Clusters <= 0 || cfg.SketchK <= 0 {
+		return nil, fmt.Errorf("experiments: invalid fig3 config %+v", cfg)
+	}
+	tb, _, err := workload.CallVolume(workload.CallVolumeConfig{
+		Stations: cfg.Stations, Days: cfg.Days, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tileRows, tileCols := cfg.StationsPerTile, workload.BucketsPerDay
+	tiles, _, err := gridTiles(tb, tileRows, tileCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(tiles) < cfg.Clusters {
+		return nil, fmt.Errorf("experiments: %d tiles < %d clusters — enlarge the table",
+			len(tiles), cfg.Clusters)
+	}
+
+	rows := make([]Fig3Row, 0, len(cfg.PValues))
+	for _, p := range cfg.PValues {
+		exact, err := runKMeansExact(tiles, p, cfg.Clusters, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := runKMeansSketch(tiles, tileRows, tileCols, p, cfg.Clusters, cfg.SketchK, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		onDemand, err := runKMeansSketch(tiles, tileRows, tileCols, p, cfg.Clusters, cfg.SketchK, cfg.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		agreement, err := evalmetrics.Agreement(exact.Assign, pre.Assign, cfg.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		quality, err := evalmetrics.Quality(exact.SpreadExact, pre.SpreadExact)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			P:               p,
+			TimeExact:       exact.TotalTime,
+			TimePrecomputed: pre.ClusterTime,
+			TimeOnDemand:    onDemand.TotalTime,
+			PrepTime:        pre.PrepTime,
+			Agreement:       agreement,
+			Quality:         quality,
+		})
+	}
+	return rows, nil
+}

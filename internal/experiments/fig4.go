@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/evalmetrics"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// Fig4aConfig drives Figure 4(a): k-means time as the number of clusters
+// grows, under the three distance modes, at fixed p.
+type Fig4aConfig struct {
+	P               float64
+	ClusterCounts   []int
+	SketchK         int
+	Stations        int
+	Days            int
+	StationsPerTile int
+	Seed            uint64
+}
+
+// DefaultFig4aConfig mirrors the paper's k sweep {4..48} at laptop scale.
+func DefaultFig4aConfig() Fig4aConfig {
+	return Fig4aConfig{
+		P:               1,
+		ClusterCounts:   []int{4, 8, 12, 16, 20, 24, 48},
+		SketchK:         64,
+		Stations:        192,
+		Days:            4,
+		StationsPerTile: 16,
+		Seed:            42,
+	}
+}
+
+// Fig4aRow is one cluster count.
+type Fig4aRow struct {
+	K               int
+	TimeExact       time.Duration
+	TimePrecomputed time.Duration
+	TimeOnDemand    time.Duration
+}
+
+// RunFig4a executes the sweep.
+func RunFig4a(cfg Fig4aConfig) ([]Fig4aRow, error) {
+	if len(cfg.ClusterCounts) == 0 || cfg.SketchK <= 0 {
+		return nil, fmt.Errorf("experiments: invalid fig4a config %+v", cfg)
+	}
+	tb, _, err := workload.CallVolume(workload.CallVolumeConfig{
+		Stations: cfg.Stations, Days: cfg.Days, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tileRows, tileCols := cfg.StationsPerTile, workload.BucketsPerDay
+	tiles, _, err := gridTiles(tb, tileRows, tileCols)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4aRow, 0, len(cfg.ClusterCounts))
+	for _, k := range cfg.ClusterCounts {
+		if k > len(tiles) {
+			return nil, fmt.Errorf("experiments: k = %d exceeds %d tiles", k, len(tiles))
+		}
+		exact, err := runKMeansExact(tiles, cfg.P, k, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := runKMeansSketch(tiles, tileRows, tileCols, cfg.P, k, cfg.SketchK, cfg.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		onDemand, err := runKMeansSketch(tiles, tileRows, tileCols, cfg.P, k, cfg.SketchK, cfg.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4aRow{
+			K:               k,
+			TimeExact:       exact.TotalTime,
+			TimePrecomputed: pre.ClusterTime,
+			TimeOnDemand:    onDemand.TotalTime,
+		})
+	}
+	return rows, nil
+}
+
+// Fig4bConfig drives Figure 4(b): recovering a known planted clustering
+// from the six-region synthetic dataset while sweeping p, with sketched
+// distances throughout.
+type Fig4bConfig struct {
+	PValues     []float64
+	SketchK     int
+	Rows, Cols  int // six-region table dims (Rows divisible by 16)
+	TileEdge    int // square tile edge; must divide Rows/16 and Cols
+	OutlierFrac float64
+	// OutlierMag is the large-outlier magnitude. The paper's regime has a
+	// single outlier dominating a tile-pair L2 distance, which requires
+	// OutlierMag ≳ bandGap·√tileCells; the default config scales it
+	// accordingly for its reduced tile size (see DESIGN.md substitutions).
+	OutlierMag float64
+	Seed       uint64
+	Restarts   int // k-means restarts; best-of by exact spread
+}
+
+// DefaultFig4bConfig mirrors the paper's sweep p ∈ [0, 2] at laptop scale
+// (the paper used 64KB tiles on a 128MB table; shape is preserved).
+func DefaultFig4bConfig() Fig4bConfig {
+	return Fig4bConfig{
+		PValues:     []float64{0.02, 0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0, 1.25, 1.5, 1.75, 2.0},
+		SketchK:     256,
+		Rows:        256,
+		Cols:        128,
+		TileEdge:    16,
+		OutlierFrac: 0.01,
+		OutlierMag:  300_000, // ≈ bandGap(4k)·√256·4.7 — the paper's "one outlier dominates L2" regime at this tile size
+		Seed:        42,
+		Restarts:    5,
+	}
+}
+
+// Fig4bRow is one value of p.
+type Fig4bRow struct {
+	P        float64
+	Accuracy float64 // fraction of tiles assigned to their true region (Def 10 vs ground truth)
+}
+
+// RunFig4b executes the sweep.
+func RunFig4b(cfg Fig4bConfig) ([]Fig4bRow, error) {
+	if len(cfg.PValues) == 0 || cfg.SketchK <= 0 || cfg.Restarts < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig4b config %+v", cfg)
+	}
+	data, err := workload.NewSixRegions(workload.SixRegionsConfig{
+		Rows: cfg.Rows, Cols: cfg.Cols, Seed: cfg.Seed,
+		OutlierFrac: cfg.OutlierFrac, OutlierMag: cfg.OutlierMag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := table.NewGrid(cfg.Rows, cfg.Cols, cfg.TileEdge, cfg.TileEdge)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := data.TileLabels(g)
+	if err != nil {
+		return nil, err
+	}
+	tiles := g.Tiles(data.Table)
+
+	rows := make([]Fig4bRow, 0, len(cfg.PValues))
+	for _, p := range cfg.PValues {
+		// Best-of-restarts by exact spread, the objective k-means
+		// minimizes; ground truth is never consulted for selection.
+		best := -1.0
+		var bestRun *ClusterRun
+		for r := 0; r < cfg.Restarts; r++ {
+			run, err := runKMeansSketch(tiles, cfg.TileEdge, cfg.TileEdge,
+				p, workload.NumRegions, cfg.SketchK, cfg.Seed+uint64(r)*101, true)
+			if err != nil {
+				return nil, err
+			}
+			if bestRun == nil || run.SpreadExact < best {
+				best, bestRun = run.SpreadExact, run
+			}
+		}
+		acc, err := evalmetrics.Agreement(truth, bestRun.Assign, workload.NumRegions)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4bRow{P: p, Accuracy: acc})
+	}
+	return rows, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/vizascii"
+	"repro/internal/workload"
+)
+
+// Fig5Config drives the Figure 5 case study: one day of call-volume data,
+// tiles of (station group × one hour), clustered at two values of p and
+// rendered as ASCII maps. High p surfaces full detail (metro cores with
+// suburban flanks); low p keeps only the strongest regions.
+type Fig5Config struct {
+	PHigh, PLow     float64
+	Clusters        int
+	SketchK         int
+	Stations        int
+	StationsPerTile int // the paper groups 75 neighboring stations
+	Seed            uint64
+}
+
+// DefaultFig5Config is the laptop-scale analogue of the paper's setup.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		PHigh:           2.0,
+		PLow:            0.25,
+		Clusters:        10,
+		SketchK:         64,
+		Stations:        600,
+		StationsPerTile: 75,
+		Seed:            42,
+	}
+}
+
+// Fig5Result carries the two rendered maps.
+type Fig5Result struct {
+	PHigh, PLow  float64
+	MapHigh      string
+	MapLow       string
+	LegendHigh   string
+	LegendLow    string
+	GridRows     int // station groups
+	GridCols     int // hours
+	NonBlankHigh int // tiles outside the largest cluster at PHigh
+	NonBlankLow  int // ... at PLow; the paper expects fewer at low p
+}
+
+// RunFig5 executes the case study.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.Clusters <= 0 || cfg.SketchK <= 0 {
+		return nil, fmt.Errorf("experiments: invalid fig5 config %+v", cfg)
+	}
+	tb, _, err := workload.CallVolume(workload.CallVolumeConfig{
+		Stations: cfg.Stations, Days: 1, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Tiles: StationsPerTile stations tall, one hour (6 buckets) wide.
+	const bucketsPerHour = 6
+	tiles, g, err := gridTiles(tb, cfg.StationsPerTile, bucketsPerHour)
+	if err != nil {
+		return nil, err
+	}
+	if len(tiles) < cfg.Clusters {
+		return nil, fmt.Errorf("experiments: %d tiles < %d clusters", len(tiles), cfg.Clusters)
+	}
+
+	render := func(p float64) (string, string, int, error) {
+		run, err := runKMeansSketch(tiles, cfg.StationsPerTile, bucketsPerHour,
+			p, cfg.Clusters, cfg.SketchK, cfg.Seed, true)
+		if err != nil {
+			return "", "", 0, err
+		}
+		m := &vizascii.Map{
+			GridRows: g.GridRows(),
+			GridCols: g.GridCols(),
+			K:        cfg.Clusters,
+			Assign:   run.Assign,
+		}
+		art, err := m.RenderWithHourAxis(1, true)
+		if err != nil {
+			return "", "", 0, err
+		}
+		legend, err := m.Legend(true)
+		if err != nil {
+			return "", "", 0, err
+		}
+		blank := m.LargestCluster()
+		nonBlank := 0
+		for _, c := range run.Assign {
+			if c != blank {
+				nonBlank++
+			}
+		}
+		return art, legend, nonBlank, nil
+	}
+
+	res := &Fig5Result{
+		PHigh: cfg.PHigh, PLow: cfg.PLow,
+		GridRows: g.GridRows(), GridCols: g.GridCols(),
+	}
+	if res.MapHigh, res.LegendHigh, res.NonBlankHigh, err = render(cfg.PHigh); err != nil {
+		return nil, err
+	}
+	if res.MapLow, res.LegendLow, res.NonBlankLow, err = render(cfg.PLow); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/table"
+)
+
+// tableRect is shorthand for a square rectangle anchored at (r, c).
+func tableRect(r, c, edge int) table.Rect {
+	return table.Rect{R0: r, C0: c, Rows: edge, Cols: edge}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// PrintFig2 writes the Figure 2 rows as an aligned text table.
+func PrintFig2(w io.Writer, p float64, rows []Fig2Row) {
+	fmt.Fprintf(w, "Figure 2 — distance assessment, L%.4g (time per batch of pairs; accuracy in %%)\n", p)
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s %-12s %-10s %-10s %-10s\n",
+		"tile", "bytes", "exact", "sketch", "preprocess", "cumul", "avg", "pairwise")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-12d %-12s %-12s %-12s %-10.2f %-10.2f %-10.2f\n",
+			fmt.Sprintf("%dx%d", r.TileEdge, r.TileEdge), r.ObjectBytes,
+			fmtDur(r.ExactTime), fmtDur(r.SketchTime), fmtDur(r.PreprocTime),
+			100*r.Cumulative, 100*r.Average, 100*r.Pairwise)
+	}
+}
+
+// PrintFig3 writes the Figure 3 rows (both panels).
+func PrintFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintf(w, "Figure 3 — 20-means clustering across p (times; agreement/quality in %%)\n")
+	fmt.Fprintf(w, "%-6s %-12s %-14s %-12s %-12s %-11s %-10s\n",
+		"p", "exact", "precomputed", "on-demand", "sketch-prep", "agreement", "quality")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6.2f %-12s %-14s %-12s %-12s %-11.1f %-10.1f\n",
+			r.P, fmtDur(r.TimeExact), fmtDur(r.TimePrecomputed), fmtDur(r.TimeOnDemand),
+			fmtDur(r.PrepTime), 100*r.Agreement, 100*r.Quality)
+	}
+}
+
+// PrintFig4a writes the Figure 4(a) rows.
+func PrintFig4a(w io.Writer, rows []Fig4aRow) {
+	fmt.Fprintf(w, "Figure 4(a) — k-means time vs number of clusters\n")
+	fmt.Fprintf(w, "%-6s %-12s %-14s %-12s\n", "k", "exact", "precomputed", "on-demand")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-12s %-14s %-12s\n",
+			r.K, fmtDur(r.TimeExact), fmtDur(r.TimePrecomputed), fmtDur(r.TimeOnDemand))
+	}
+}
+
+// PrintFig4b writes the Figure 4(b) rows.
+func PrintFig4b(w io.Writer, rows []Fig4bRow) {
+	fmt.Fprintf(w, "Figure 4(b) — accuracy of recovering the planted six-region clustering vs p\n")
+	fmt.Fprintf(w, "%-6s %-10s\n", "p", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6.2f %-10.1f%%\n", r.P, 100*r.Accuracy)
+	}
+}
+
+// PrintFig5 writes the case-study maps.
+func PrintFig5(w io.Writer, res *Fig5Result) {
+	fmt.Fprintf(w, "Figure 5 — one day clustered at p=%.4g and p=%.4g (%d station groups × %d hours)\n",
+		res.PHigh, res.PLow, res.GridRows, res.GridCols)
+	fmt.Fprintf(w, "\np = %.4g (%d tiles in non-trivial clusters):\n%s\n%s",
+		res.PHigh, res.NonBlankHigh, res.MapHigh, res.LegendHigh)
+	fmt.Fprintf(w, "\np = %.4g (%d tiles in non-trivial clusters):\n%s\n%s",
+		res.PLow, res.NonBlankLow, res.MapLow, res.LegendLow)
+}
+
+// PrintSweepK writes the sketch-size ablation rows.
+func PrintSweepK(w io.Writer, p float64, rows []SweepKRow) {
+	fmt.Fprintf(w, "Sketch-size sweep — accuracy vs k at L%.4g (in %%)\n", p)
+	fmt.Fprintf(w, "%-6s %-10s %-10s %-10s\n", "k", "cumul", "avg", "pairwise")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-10.1f %-10.1f %-10.1f\n",
+			r.K, 100*r.Cumulative, 100*r.Average, 100*r.Pairwise)
+	}
+}
+
+// PrintBaselines writes the transform-baseline comparison rows.
+func PrintBaselines(w io.Writer, rows []BaselineRow) {
+	fmt.Fprintf(w, "Transform baselines vs stable sketches (accuracy in %%)\n")
+	fmt.Fprintf(w, "%-8s %-6s %-10s %-10s %-10s\n", "method", "p", "cumul", "avg", "pairwise")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-6.4g %-10.1f %-10.1f %-10.1f\n",
+			r.Estimator, r.P, 100*r.Cumulative, 100*r.Average, 100*r.Pairwise)
+	}
+}
+
+// PrintAlgos writes the cross-algorithm comparison rows.
+func PrintAlgos(w io.Writer, cfg AlgosConfig, rows []AlgoRow) {
+	fmt.Fprintf(w, "Mining algorithms over one set of L%.4g sketches (planted six-region data)\n", cfg.P)
+	fmt.Fprintf(w, "%-24s %-10s %-10s\n", "algorithm", "accuracy", "time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-10.1f %-10s\n", r.Algorithm, 100*r.Accuracy, fmtDur(r.Time))
+	}
+}

@@ -1,0 +1,269 @@
+// Package fft provides the Fourier machinery behind Theorem 3 of the
+// paper: computing the dot product of one random matrix with *every*
+// fixed-size subrectangle of a data table is a 2D cross-correlation, which
+// costs O(N log M) in the Fourier domain instead of O(N·M) naively.
+//
+// The package implements an iterative radix-2 complex FFT with cached
+// twiddle tables, 2D transforms, and real-input 2D cross-correlation /
+// convolution returning only the "valid" region (positions where the
+// kernel lies fully inside the data).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// NextPow2 returns the smallest power of two >= n, with NextPow2(0) == 1.
+// It panics on negative input.
+func NextPow2(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("fft: NextPow2 of negative %d", n))
+	}
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddles caches the first-half roots of unity exp(-2πi·k/n) per size.
+var twiddles sync.Map // int -> []complex128
+
+func twiddleTable(n int) []complex128 {
+	if t, ok := twiddles.Load(n); ok {
+		return t.([]complex128)
+	}
+	tab := make([]complex128, n/2)
+	for k := range tab {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		tab[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	actual, _ := twiddles.LoadOrStore(n, tab)
+	return actual.([]complex128)
+}
+
+// FFT performs an in-place forward transform of data, whose length must be
+// a power of two (panic otherwise — the caller owns padding decisions).
+func FFT(data []complex128) {
+	transform(data, false)
+}
+
+// IFFT performs an in-place inverse transform (including the 1/n scaling),
+// with the same power-of-two length requirement as FFT.
+func IFFT(data []complex128) {
+	transform(data, true)
+	scale := complex(1/float64(len(data)), 0)
+	for i := range data {
+		data[i] *= scale
+	}
+}
+
+func transform(data []complex128, inverse bool) {
+	n := len(data)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	if n == 1 {
+		return
+	}
+	bitReverse(data)
+	tab := twiddleTable(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := tab[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				i, j := start+k, start+k+half
+				t := data[j] * w
+				data[j] = data[i] - t
+				data[i] += t
+			}
+		}
+	}
+}
+
+func bitReverse(data []complex128) {
+	n := len(data)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+}
+
+// CMatrix is a dense row-major complex matrix used for 2D transforms.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols, row-major
+}
+
+// NewCMatrix allocates a zeroed rows×cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("fft: NewCMatrix(%d, %d) with non-positive dims", rows, cols))
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *CMatrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *CMatrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m *CMatrix) Row(r int) []complex128 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// FFT2D transforms m in place. Both dimensions must be powers of two.
+func FFT2D(m *CMatrix) { transform2D(m, false) }
+
+// IFFT2D inverse-transforms m in place (with scaling).
+func IFFT2D(m *CMatrix) { transform2D(m, true) }
+
+func transform2D(m *CMatrix, inverse bool) {
+	if !IsPow2(m.Rows) || !IsPow2(m.Cols) {
+		panic(fmt.Sprintf("fft: 2D dims %dx%d not powers of two", m.Rows, m.Cols))
+	}
+	run := FFT
+	if inverse {
+		run = IFFT
+	}
+	for r := 0; r < m.Rows; r++ {
+		run(m.Row(r))
+	}
+	col := make([]complex128, m.Rows)
+	for c := 0; c < m.Cols; c++ {
+		for r := 0; r < m.Rows; r++ {
+			col[r] = m.Data[r*m.Cols+c]
+		}
+		run(col)
+		for r := 0; r < m.Rows; r++ {
+			m.Data[r*m.Cols+c] = col[r]
+		}
+	}
+}
+
+// CrossCorrelateValid computes, for every position (i, j) at which the
+// ka×kb kernel fits entirely inside the n×m data, the dot product
+//
+//	out[i][j] = Σ_{u<ka, v<kb} data[i+u][j+v] · kernel[u][v]
+//
+// returning a (n-ka+1)×(m-kb+1) row-major result. This is exactly the
+// "sketch entry for every subtable position" operation of Theorem 3.
+// data and kernel are row-major with the given dimensions; the kernel must
+// not exceed the data in either dimension.
+func CrossCorrelateValid(data []float64, n, m int, kernel []float64, ka, kb int) []float64 {
+	checkDims(data, n, m, kernel, ka, kb)
+	pr, pc := NextPow2(n), NextPow2(m)
+	d := NewCMatrix(pr, pc)
+	for r := 0; r < n; r++ {
+		row := d.Row(r)
+		src := data[r*m : (r+1)*m]
+		for c, v := range src {
+			row[c] = complex(v, 0)
+		}
+	}
+	k := NewCMatrix(pr, pc)
+	for r := 0; r < ka; r++ {
+		row := k.Row(r)
+		src := kernel[r*kb : (r+1)*kb]
+		for c, v := range src {
+			row[c] = complex(v, 0)
+		}
+	}
+	FFT2D(d)
+	FFT2D(k)
+	for i := range d.Data {
+		kc := k.Data[i]
+		d.Data[i] *= complex(real(kc), -imag(kc)) // multiply by conjugate => correlation
+	}
+	IFFT2D(d)
+	outRows, outCols := n-ka+1, m-kb+1
+	out := make([]float64, outRows*outCols)
+	for r := 0; r < outRows; r++ {
+		row := d.Row(r)
+		for c := 0; c < outCols; c++ {
+			out[r*outCols+c] = real(row[c])
+		}
+	}
+	return out
+}
+
+// CrossCorrelateValidNaive is the O(N·M) reference implementation of
+// CrossCorrelateValid, used for verification and as the paper's
+// "straightforward" baseline in benchmarks.
+func CrossCorrelateValidNaive(data []float64, n, m int, kernel []float64, ka, kb int) []float64 {
+	checkDims(data, n, m, kernel, ka, kb)
+	outRows, outCols := n-ka+1, m-kb+1
+	out := make([]float64, outRows*outCols)
+	for i := 0; i < outRows; i++ {
+		for j := 0; j < outCols; j++ {
+			var sum float64
+			for u := 0; u < ka; u++ {
+				drow := data[(i+u)*m+j:]
+				krow := kernel[u*kb : (u+1)*kb]
+				for v, kv := range krow {
+					sum += drow[v] * kv
+				}
+			}
+			out[i*outCols+j] = sum
+		}
+	}
+	return out
+}
+
+// ConvolveFull computes the full linear convolution of two real sequences,
+// of length len(a)+len(b)-1, via FFT. Exposed for the transform baselines
+// and for testing the 1D path in isolation.
+func ConvolveFull(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("fft: ConvolveFull with empty input")
+	}
+	outLen := len(a) + len(b) - 1
+	p := NextPow2(outLen)
+	fa := make([]complex128, p)
+	fb := make([]complex128, p)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+func checkDims(data []float64, n, m int, kernel []float64, ka, kb int) {
+	if n <= 0 || m <= 0 || ka <= 0 || kb <= 0 {
+		panic(fmt.Sprintf("fft: non-positive dims data %dx%d kernel %dx%d", n, m, ka, kb))
+	}
+	if len(data) != n*m {
+		panic(fmt.Sprintf("fft: data length %d != %d*%d", len(data), n, m))
+	}
+	if len(kernel) != ka*kb {
+		panic(fmt.Sprintf("fft: kernel length %d != %d*%d", len(kernel), ka, kb))
+	}
+	if ka > n || kb > m {
+		panic(fmt.Sprintf("fft: kernel %dx%d exceeds data %dx%d", ka, kb, n, m))
+	}
+}

@@ -1,0 +1,365 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 127: 128, 128: 128, 129: 256}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPow2PanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NextPow2(-1)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+// dftNaive is the O(n²) reference DFT.
+func dftNaive(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += in[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := dftNaive(in)
+		got := append([]complex128(nil), in...)
+		FFT(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range []int{1, 2, 8, 128, 1024} {
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := append([]complex128(nil), in...)
+		FFT(got)
+		IFFT(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-in[i]) > 1e-10*float64(n) {
+				t.Fatalf("n=%d: roundtrip[%d] = %v, want %v", n, i, got[i], in[i])
+			}
+		}
+	}
+}
+
+func TestFFTPanicsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 64
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	combo := make([]complex128, n)
+	alpha := complex(2.5, -1)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+		b[i] = complex(rng.NormFloat64(), 0)
+		combo[i] = alpha*a[i] + b[i]
+	}
+	FFT(a)
+	FFT(b)
+	FFT(combo)
+	for i := range combo {
+		want := alpha*a[i] + b[i]
+		if cmplx.Abs(combo[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at %d: %v vs %v", i, combo[i], want)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 256
+	in := make([]complex128, n)
+	var timeEnergy float64
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeEnergy += real(in[i])*real(in[i]) + imag(in[i])*imag(in[i])
+	}
+	FFT(in)
+	var freqEnergy float64
+	for _, v := range in {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= n
+	if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-10 {
+		t.Errorf("Parseval violated: time %v vs freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	in := make([]complex128, 16)
+	in[0] = 1
+	FFT(in)
+	for i, v := range in {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestCMatrixAccessors(t *testing.T) {
+	m := NewCMatrix(2, 3)
+	m.Set(1, 2, complex(7, 0))
+	if m.At(1, 2) != complex(7, 0) {
+		t.Error("Set/At mismatch")
+	}
+	if len(m.Row(1)) != 3 {
+		t.Error("Row length wrong")
+	}
+	if m.Row(1)[2] != complex(7, 0) {
+		t.Error("Row aliasing broken")
+	}
+}
+
+func TestNewCMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCMatrix(0, 4)
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	m := NewCMatrix(8, 16)
+	orig := make([]complex128, len(m.Data))
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = m.Data[i]
+	}
+	FFT2D(m)
+	IFFT2D(m)
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D roundtrip[%d] = %v, want %v", i, m.Data[i], orig[i])
+		}
+	}
+}
+
+func TestFFT2DSeparability(t *testing.T) {
+	// 2D FFT of an outer product is the outer product of 1D FFTs.
+	rng := rand.New(rand.NewPCG(6, 6))
+	const r, c = 8, 8
+	rowVec := make([]complex128, c)
+	colVec := make([]complex128, r)
+	for i := range rowVec {
+		rowVec[i] = complex(rng.NormFloat64(), 0)
+	}
+	for i := range colVec {
+		colVec[i] = complex(rng.NormFloat64(), 0)
+	}
+	m := NewCMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, colVec[i]*rowVec[j])
+		}
+	}
+	FFT2D(m)
+	fr := append([]complex128(nil), rowVec...)
+	fc := append([]complex128(nil), colVec...)
+	FFT(fr)
+	FFT(fc)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			want := fc[i] * fr[j]
+			if cmplx.Abs(m.At(i, j)-want) > 1e-8 {
+				t.Fatalf("separability at (%d,%d): %v vs %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCrossCorrelateValidTiny(t *testing.T) {
+	// 2x3 data, 2x2 kernel -> 1x2 output computed by hand.
+	data := []float64{
+		1, 2, 3,
+		4, 5, 6,
+	}
+	kernel := []float64{
+		1, 0,
+		0, 1,
+	}
+	// out[0][0] = 1*1 + 5*1 = 6; out[0][1] = 2*1 + 6*1 = 8
+	want := []float64{6, 8}
+	got := CrossCorrelateValid(data, 2, 3, kernel, 2, 2)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCrossCorrelateMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	cases := []struct{ n, m, ka, kb int }{
+		{4, 4, 2, 2},
+		{8, 8, 8, 8},   // kernel == data: single dot product
+		{16, 8, 3, 5},  // non-square everything
+		{9, 13, 4, 4},  // non-power-of-two data
+		{32, 32, 1, 1}, // scalar kernel
+		{5, 31, 5, 2},  // kernel spans full height
+	}
+	for _, c := range cases {
+		data := randSlice(rng, c.n*c.m)
+		kernel := randSlice(rng, c.ka*c.kb)
+		fast := CrossCorrelateValid(data, c.n, c.m, kernel, c.ka, c.kb)
+		slow := CrossCorrelateValidNaive(data, c.n, c.m, kernel, c.ka, c.kb)
+		if len(fast) != len(slow) {
+			t.Fatalf("%+v: len %d vs %d", c, len(fast), len(slow))
+		}
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-7 {
+				t.Fatalf("%+v: out[%d] = %v vs naive %v", c, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestCrossCorrelatePanics(t *testing.T) {
+	cases := []func(){
+		func() { CrossCorrelateValid(nil, 0, 0, nil, 0, 0) },
+		func() { CrossCorrelateValid(make([]float64, 4), 2, 2, make([]float64, 9), 3, 3) }, // kernel too big
+		func() { CrossCorrelateValid(make([]float64, 3), 2, 2, make([]float64, 1), 1, 1) }, // bad data len
+		func() { CrossCorrelateValid(make([]float64, 4), 2, 2, make([]float64, 2), 1, 1) }, // bad kernel len
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConvolveFull(t *testing.T) {
+	// [1,2,3] * [4,5] = [4, 13, 22, 15]
+	got := ConvolveFull([]float64{1, 2, 3}, []float64{4, 5})
+	want := []float64{4, 13, 22, 15}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConvolveFullCommutative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) == 0 || len(b) == 0 || len(a) > 64 || len(b) > 64 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		ab := ConvolveFull(a, b)
+		ba := ConvolveFull(b, a)
+		for i := range ab {
+			if math.Abs(ab[i]-ba[i]) > 1e-6*(1+math.Abs(ab[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: correlation with an all-ones kernel equals the sliding-window sum.
+func TestCrossCorrelateOnesKernelIsWindowSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	const n, m, ka, kb = 10, 12, 3, 4
+	data := randSlice(rng, n*m)
+	kernel := make([]float64, ka*kb)
+	for i := range kernel {
+		kernel[i] = 1
+	}
+	got := CrossCorrelateValid(data, n, m, kernel, ka, kb)
+	outCols := m - kb + 1
+	for i := 0; i <= n-ka; i++ {
+		for j := 0; j <= m-kb; j++ {
+			var sum float64
+			for u := 0; u < ka; u++ {
+				for v := 0; v < kb; v++ {
+					sum += data[(i+u)*m+j+v]
+				}
+			}
+			if math.Abs(got[i*outCols+j]-sum) > 1e-8 {
+				t.Fatalf("window sum at (%d,%d): %v vs %v", i, j, got[i*outCols+j], sum)
+			}
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}

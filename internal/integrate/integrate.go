@@ -1,0 +1,159 @@
+// Package integrate provides the numerical analysis primitives the stable
+// distribution functions are built on: adaptive Simpson quadrature for
+// one-dimensional integrals and Brent's method for root finding. Go's
+// standard library has neither; the implementations here are small,
+// allocation-free on the hot path, and tested against closed forms.
+package integrate
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the default absolute error target for Adaptive.
+const DefaultTol = 1e-10
+
+// maxDepth bounds adaptive recursion; 2^50 subdivisions is far beyond any
+// sane integrand and prevents runaway recursion on pathological inputs.
+const maxDepth = 50
+
+// Adaptive integrates f over [a, b] with adaptive Simpson quadrature to
+// absolute tolerance tol (DefaultTol if tol <= 0). It errors on invalid
+// bounds or non-finite integrand values at the initial evaluation points.
+// a > b integrates with the conventional sign flip.
+func Adaptive(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return 0, fmt.Errorf("integrate: non-finite bounds [%v, %v]", a, b)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	if a == b {
+		return 0, nil
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	if anyNonFinite(fa, fm, fb) {
+		return 0, fmt.Errorf("integrate: non-finite integrand on [%v, %v]", a, b)
+	}
+	whole := simpson(a, b, fa, fm, fb)
+	v := adaptive(f, a, b, fa, fm, fb, whole, tol, maxDepth)
+	return sign * v, nil
+}
+
+func anyNonFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptive(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 {
+		return left + right
+	}
+	// Richardson error estimate for Simpson: |S2 - S1| / 15.
+	if diff := left + right - whole; math.Abs(diff) <= 15*tol {
+		return left + right + diff/15
+	}
+	half := tol / 2
+	return adaptive(f, a, m, fa, flm, fm, left, half, depth-1) +
+		adaptive(f, m, b, fm, frm, fb, right, half, depth-1)
+}
+
+// BrentTol is Brent's default x-tolerance.
+const BrentTol = 1e-12
+
+// maxBrentIter bounds Brent iterations (each at least bisects, so 200
+// iterations resolve any double-precision bracket).
+const maxBrentIter = 200
+
+// Brent finds a root of f in [a, b] with Brent's method (inverse
+// quadratic interpolation + secant + bisection). f(a) and f(b) must
+// bracket a root (opposite signs, or one endpoint already a root).
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = BrentTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if anyNonFinite(fa, fb) {
+		return 0, fmt.Errorf("integrate: non-finite f at bracket [%v, %v]", a, b)
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, fmt.Errorf("integrate: f(%v)=%v and f(%v)=%v do not bracket a root", a, fa, b, fb)
+	}
+	// Ensure |f(b)| <= |f(a)|: b is the best guess.
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b, fa, fb = b, a, fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxBrentIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		if math.IsNaN(fs) {
+			return 0, fmt.Errorf("integrate: f(%v) is NaN during Brent iteration", s)
+		}
+		d, c, fc = c, b, fb
+		if (fa > 0) != (fs > 0) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b, fa, fb = b, a, fb, fa
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,132 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdaptiveClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, 0, 2, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 3, 9},
+		{"sin over period", math.Sin, 0, 2 * math.Pi, 0},
+		{"sin half period", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		{"1/(1+x^2)", func(x float64) float64 { return 1 / (1 + x*x) }, -1, 1, math.Pi / 2},
+		{"gaussian bulk", func(x float64) float64 {
+			return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		}, -8, 8, 1},
+		{"oscillatory", func(x float64) float64 { return math.Sin(20 * x) }, 0, 1, (1 - math.Cos(20)) / 20},
+	}
+	for _, c := range cases {
+		got, err := Adaptive(c.f, c.a, c.b, 1e-11)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveReversedBounds(t *testing.T) {
+	got, err := Adaptive(func(x float64) float64 { return x }, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+0.5) > 1e-10 {
+		t.Errorf("reversed integral = %v, want -0.5", got)
+	}
+}
+
+func TestAdaptiveDegenerate(t *testing.T) {
+	got, err := Adaptive(math.Exp, 2, 2, 0)
+	if err != nil || got != 0 {
+		t.Errorf("zero-width integral = %v, %v", got, err)
+	}
+}
+
+func TestAdaptiveErrors(t *testing.T) {
+	if _, err := Adaptive(math.Exp, math.Inf(-1), 0, 0); err == nil {
+		t.Error("infinite bound: expected error")
+	}
+	if _, err := Adaptive(math.Exp, math.NaN(), 1, 0); err == nil {
+		t.Error("NaN bound: expected error")
+	}
+	if _, err := Adaptive(func(x float64) float64 { return 1 / x }, -1, 1, 0); err == nil {
+		t.Error("singular integrand at midpoint: expected error")
+	}
+}
+
+func TestAdaptiveDefaultTol(t *testing.T) {
+	got, err := Adaptive(math.Cos, 0, 1, 0) // tol <= 0 uses default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sin(1)) > 1e-9 {
+		t.Errorf("got %v, want sin(1)", got)
+	}
+}
+
+func TestBrentClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 2*x - 1 }, 0, 1, 0.5},
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cubic", func(x float64) float64 { return x * x * x }, -1, 2, 0},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"exp shifted", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+		{"flat near root", func(x float64) float64 { return math.Pow(x-1, 3) }, 0, 2.5, 1},
+	}
+	for _, c := range cases {
+		got, err := Brent(c.f, c.a, c.b, 1e-13)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got, err := Brent(f, 0, 1, 0); err != nil || got != 0 {
+		t.Errorf("root at a: %v, %v", got, err)
+	}
+	if got, err := Brent(f, -1, 0, 0); err != nil || got != 0 {
+		t.Errorf("root at b: %v, %v", got, err)
+	}
+}
+
+func TestBrentErrors(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 0); err == nil {
+		t.Error("no bracket: expected error")
+	}
+	if _, err := Brent(func(x float64) float64 { return math.NaN() }, 0, 1, 0); err == nil {
+		t.Error("NaN f: expected error")
+	}
+}
+
+func TestBrentTightTolerance(t *testing.T) {
+	// The root of f(x) = x² - 3 to near machine precision.
+	got, err := Brent(func(x float64) float64 { return x*x - 3 }, 1, 2, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("got %v, want √3 = %v", got, math.Sqrt(3))
+	}
+}

@@ -1,0 +1,131 @@
+// Package lpnorm computes exact Lp norms and distances for vectors and
+// matrices, p ∈ (0, 2], as defined in Section 3.1 of the paper:
+//
+//	‖x − y‖p = (Σᵢ |xᵢ − yᵢ|^p)^(1/p)
+//
+// Matrices are treated as linearized vectors (the Lp norms are entrywise,
+// so any consistent linearization gives the same value). These routines
+// are the paper's "exact computation" baseline: linear time in the object
+// size, which is precisely the cost the sketches avoid.
+//
+// The package also provides the Hamming distance (the p → 0 limit the
+// paper discusses when explaining why very small p clusters poorly) and
+// raw p-th-power distances (which skip the final root; monotone in the
+// true distance and therefore interchangeable for comparisons).
+package lpnorm
+
+import (
+	"fmt"
+	"math"
+)
+
+// P describes an Lp norm with its exponent validated at construction.
+type P struct {
+	p float64
+}
+
+// NewP returns the Lp norm descriptor. p must be in (0, 2]; the sketching
+// theory (and the meaningfulness of the metric comparisons in the paper)
+// holds only on that range.
+func NewP(p float64) (P, error) {
+	if !(p > 0) || p > 2 || math.IsNaN(p) {
+		return P{}, fmt.Errorf("lpnorm: p %v outside (0, 2]", p)
+	}
+	return P{p: p}, nil
+}
+
+// MustP is NewP for constant exponents; it panics on error.
+func MustP(p float64) P {
+	v, err := NewP(p)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Value returns the exponent.
+func (lp P) Value() float64 { return lp.p }
+
+// Norm returns ‖x‖p.
+func (lp P) Norm(x []float64) float64 {
+	return math.Pow(lp.PowSum(x), 1/lp.p)
+}
+
+// PowSum returns Σ|xᵢ|^p, the p-th power of the norm. Comparisons of
+// PowSum values order identically to comparisons of norms, so distance-
+// based algorithms can skip the root.
+func (lp P) PowSum(x []float64) float64 {
+	switch lp.p {
+	case 2:
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	case 1:
+		var s float64
+		for _, v := range x {
+			s += math.Abs(v)
+		}
+		return s
+	default:
+		var s float64
+		for _, v := range x {
+			if v != 0 {
+				s += math.Pow(math.Abs(v), lp.p)
+			}
+		}
+		return s
+	}
+}
+
+// Dist returns ‖x − y‖p. x and y must have equal length.
+func (lp P) Dist(x, y []float64) float64 {
+	return math.Pow(lp.DistPowSum(x, y), 1/lp.p)
+}
+
+// DistPowSum returns Σ|xᵢ − yᵢ|^p without the final root.
+func (lp P) DistPowSum(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("lpnorm: length mismatch %d vs %d", len(x), len(y)))
+	}
+	switch lp.p {
+	case 2:
+		var s float64
+		for i, v := range x {
+			d := v - y[i]
+			s += d * d
+		}
+		return s
+	case 1:
+		var s float64
+		for i, v := range x {
+			s += math.Abs(v - y[i])
+		}
+		return s
+	default:
+		var s float64
+		for i, v := range x {
+			d := v - y[i]
+			if d != 0 {
+				s += math.Pow(math.Abs(d), lp.p)
+			}
+		}
+		return s
+	}
+}
+
+// Hamming returns the number of positions where x and y differ — the
+// p → 0 limit of Σ|xᵢ−yᵢ|^p. Panics on length mismatch.
+func Hamming(x, y []float64) int {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("lpnorm: length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := 0
+	for i, v := range x {
+		if v != y[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package lpnorm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPValidation(t *testing.T) {
+	for _, p := range []float64{0, -1, 2.5, math.NaN()} {
+		if _, err := NewP(p); err == nil {
+			t.Errorf("NewP(%v): expected error", p)
+		}
+	}
+	for _, p := range []float64{0.01, 0.5, 1, 1.5, 2} {
+		lp, err := NewP(p)
+		if err != nil {
+			t.Fatalf("NewP(%v): %v", p, err)
+		}
+		if lp.Value() != p {
+			t.Errorf("Value() = %v, want %v", lp.Value(), p)
+		}
+	}
+}
+
+func TestMustPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustP(3)
+}
+
+func TestNormKnownValues(t *testing.T) {
+	x := []float64{3, -4}
+	if got := MustP(2).Norm(x); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 norm = %v, want 5", got)
+	}
+	if got := MustP(1).Norm(x); math.Abs(got-7) > 1e-12 {
+		t.Errorf("L1 norm = %v, want 7", got)
+	}
+	// L0.5: (sqrt3 + sqrt4)^2 = (1.7320508 + 2)^2 ≈ 13.9282
+	want := math.Pow(math.Sqrt(3)+2, 2)
+	if got := MustP(0.5).Norm(x); math.Abs(got-want) > 1e-9 {
+		t.Errorf("L0.5 norm = %v, want %v", got, want)
+	}
+}
+
+func TestDistKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 2, -1}
+	// diffs: -3, 0, 4
+	if got := MustP(1).Dist(x, y); math.Abs(got-7) > 1e-12 {
+		t.Errorf("L1 dist = %v, want 7", got)
+	}
+	if got := MustP(2).Dist(x, y); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 dist = %v, want 5", got)
+	}
+}
+
+func TestDistZeroAndIdentity(t *testing.T) {
+	x := []float64{1, -2, 0.5}
+	for _, p := range []float64{0.3, 0.7, 1, 1.6, 2} {
+		lp := MustP(p)
+		if got := lp.Dist(x, x); got != 0 {
+			t.Errorf("p=%v: Dist(x,x) = %v, want 0", p, got)
+		}
+		if got := lp.Norm(nil); got != 0 {
+			t.Errorf("p=%v: Norm(empty) = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, p := range []float64{0.4, 1, 1.5, 2} {
+		lp := MustP(p)
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.IntN(20)
+			x, y := randVec(rng, n), randVec(rng, n)
+			if d1, d2 := lp.Dist(x, y), lp.Dist(y, x); math.Abs(d1-d2) > 1e-12 {
+				t.Fatalf("p=%v: asymmetric %v vs %v", p, d1, d2)
+			}
+		}
+	}
+}
+
+func TestTriangleInequalityForPGE1(t *testing.T) {
+	// Lp is a metric for p >= 1 and must satisfy the triangle inequality.
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, p := range []float64{1, 1.3, 1.7, 2} {
+		lp := MustP(p)
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.IntN(12)
+			x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+			if lp.Dist(x, z) > lp.Dist(x, y)+lp.Dist(y, z)+1e-9 {
+				t.Fatalf("p=%v: triangle inequality violated", p)
+			}
+		}
+	}
+}
+
+func TestPowSumTriangleForPLT1(t *testing.T) {
+	// For p < 1, the p-th power sum d(x,y) = Σ|xi-yi|^p is itself a metric.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, p := range []float64{0.25, 0.5, 0.8} {
+		lp := MustP(p)
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.IntN(12)
+			x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+			if lp.DistPowSum(x, z) > lp.DistPowSum(x, y)+lp.DistPowSum(y, z)+1e-9 {
+				t.Fatalf("p=%v: power-sum triangle inequality violated", p)
+			}
+		}
+	}
+}
+
+func TestPowSumConsistentWithNorm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for _, p := range []float64{0.5, 1, 1.5, 2} {
+		lp := MustP(p)
+		x := randVec(rng, 16)
+		if got, want := lp.Norm(x), math.Pow(lp.PowSum(x), 1/p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: Norm %v vs PowSum^1/p %v", p, got, want)
+		}
+	}
+}
+
+func TestScaleHomogeneity(t *testing.T) {
+	// ‖c·x‖p = |c|·‖x‖p for every p.
+	f := func(raw []float64, c float64) bool {
+		if len(raw) == 0 || len(raw) > 32 || math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e3 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e3 {
+				return true
+			}
+			x[i] = v
+		}
+		for _, p := range []float64{0.5, 1, 1.7, 2} {
+			lp := MustP(p)
+			scaled := make([]float64, len(x))
+			for i := range x {
+				scaled[i] = c * x[i]
+			}
+			want := math.Abs(c) * lp.Norm(x)
+			got := lp.Norm(scaled)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLpMonotoneInPForUnitVectors(t *testing.T) {
+	// For a fixed vector, ‖x‖p is non-increasing in p.
+	rng := rand.New(rand.NewPCG(5, 5))
+	x := randVec(rng, 10)
+	prev := math.Inf(1)
+	for _, p := range []float64{0.25, 0.5, 1, 1.5, 2} {
+		n := MustP(p).Norm(x)
+		if n > prev+1e-9 {
+			t.Fatalf("norm not non-increasing in p at p=%v: %v > %v", p, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestDistLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dist":    func() { MustP(1).Dist([]float64{1}, []float64{1, 2}) },
+		"powsum":  func() { MustP(1).DistPowSum([]float64{1}, []float64{1, 2}) },
+		"hamming": func() { Hamming([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHamming(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 0, 3, 5}
+	if got := Hamming(x, y); got != 2 {
+		t.Errorf("Hamming = %d, want 2", got)
+	}
+	if got := Hamming(x, x); got != 0 {
+		t.Errorf("Hamming(x,x) = %d, want 0", got)
+	}
+}
+
+func TestSmallPApproachesHamming(t *testing.T) {
+	// For tiny p, DistPowSum approaches the count of differing entries.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 7, 3, 9, 5}
+	got := MustP(0.01).DistPowSum(x, y)
+	want := float64(Hamming(x, y))
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("p=0.01 power sum = %v, want ~%v (Hamming)", got, want)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 5
+	}
+	return out
+}

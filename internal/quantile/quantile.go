@@ -1,0 +1,152 @@
+// Package quantile provides selection-based order statistics used by the
+// sketch estimators: k-th smallest element, medians, and simple quantiles.
+//
+// The sketch distance estimator of the paper takes the median of k absolute
+// sketch differences for every distance query, so median selection is on the
+// hot path of every sketched comparison. Selection runs in expected O(n)
+// time (quickselect with median-of-three pivoting) instead of the O(n log n)
+// a full sort would cost, and operates on a caller-provided scratch buffer
+// so the per-query allocation can be amortized away.
+package quantile
+
+import (
+	"fmt"
+	"math"
+)
+
+// Select returns the k-th smallest element (0-indexed) of data.
+// It partially reorders data in place. It panics if data is empty or k is
+// out of range, since callers control both and an out-of-range k is a bug.
+func Select(data []float64, k int) float64 {
+	if len(data) == 0 {
+		panic("quantile: Select on empty slice")
+	}
+	if k < 0 || k >= len(data) {
+		panic(fmt.Sprintf("quantile: Select index %d out of range [0,%d)", k, len(data)))
+	}
+	lo, hi := 0, len(data)-1
+	for {
+		if lo == hi {
+			return data[lo]
+		}
+		p := partition(data, lo, hi)
+		switch {
+		case k == p:
+			return data[k]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// partition partitions data[lo:hi+1] around a median-of-three pivot and
+// returns the pivot's final index.
+func partition(data []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order data[lo], data[mid], data[hi].
+	if data[mid] < data[lo] {
+		data[mid], data[lo] = data[lo], data[mid]
+	}
+	if data[hi] < data[lo] {
+		data[hi], data[lo] = data[lo], data[hi]
+	}
+	if data[hi] < data[mid] {
+		data[hi], data[mid] = data[mid], data[hi]
+	}
+	// Use the median (now at mid) as pivot; park it at hi-1.
+	if hi-lo < 2 {
+		return mid // two elements already ordered
+	}
+	data[mid], data[hi-1] = data[hi-1], data[mid]
+	pivot := data[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if data[j] < pivot {
+			data[i], data[j] = data[j], data[i]
+			i++
+		}
+	}
+	data[i], data[hi-1] = data[hi-1], data[i]
+	return i
+}
+
+// Median returns the median of data, partially reordering it in place.
+// For even-length input it returns the mean of the two central elements,
+// which keeps the estimator unbiased for symmetric distributions.
+// It panics on empty input.
+func Median(data []float64) float64 {
+	n := len(data)
+	if n == 0 {
+		panic("quantile: Median of empty slice")
+	}
+	if n%2 == 1 {
+		return Select(data, n/2)
+	}
+	hi := Select(data, n/2)
+	// After Select(n/2), every element left of n/2 is <= data[n/2], so the
+	// lower central element is the max of the left half.
+	lo := math.Inf(-1)
+	for _, v := range data[:n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MedianCopy returns the median without modifying data.
+func MedianCopy(data []float64) float64 {
+	tmp := make([]float64, len(data))
+	copy(tmp, data)
+	return Median(tmp)
+}
+
+// Quantile returns the q-quantile of data for q in [0,1], partially
+// reordering data in place. It uses the nearest-rank method with linear
+// interpolation between adjacent order statistics, matching the behaviour
+// of common statistics packages (type-7 quantiles).
+// It panics on empty input or q outside [0,1].
+func Quantile(data []float64, q float64) float64 {
+	n := len(data)
+	if n == 0 {
+		panic("quantile: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("quantile: q=%v outside [0,1]", q))
+	}
+	if n == 1 {
+		return data[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	v := Select(data, lo)
+	if frac == 0 {
+		return v
+	}
+	// The next order statistic is the min of the right partition.
+	next := math.Inf(1)
+	for _, x := range data[lo+1:] {
+		if x < next {
+			next = x
+		}
+	}
+	return v + frac*(next-v)
+}
+
+// AbsMedianDiff fills scratch with |a[i]-b[i]| and returns its median.
+// scratch must have the same length as a and b. This is the inner loop of
+// the paper's sketch distance estimator (Theorem 1/2): given two sketch
+// vectors, the estimate is the median of component-wise absolute
+// differences. It panics if the lengths disagree.
+func AbsMedianDiff(a, b, scratch []float64) float64 {
+	if len(a) != len(b) || len(a) != len(scratch) {
+		panic(fmt.Sprintf("quantile: AbsMedianDiff length mismatch %d/%d/%d", len(a), len(b), len(scratch)))
+	}
+	for i := range a {
+		scratch[i] = math.Abs(a[i] - b[i])
+	}
+	return Median(scratch)
+}

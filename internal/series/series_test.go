@@ -1,0 +1,219 @@
+package series
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/lpnorm"
+)
+
+func randSeries(n int, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	return x
+}
+
+func TestNewIntervalPoolValidation(t *testing.T) {
+	x := randSeries(64, 1)
+	if _, err := NewIntervalPool(nil, 1, 8, 1, 2, 4); err == nil {
+		t.Error("empty series: expected error")
+	}
+	if _, err := NewIntervalPool(x, 1, 8, 1, -1, 4); err == nil {
+		t.Error("negative minLog: expected error")
+	}
+	if _, err := NewIntervalPool(x, 1, 8, 1, 5, 4); err == nil {
+		t.Error("min > max: expected error")
+	}
+	if _, err := NewIntervalPool(x, 1, 8, 1, 2, 7); err == nil {
+		t.Error("window > series: expected error")
+	}
+	if _, err := NewIntervalPool(x, 3, 8, 1, 2, 4); err == nil {
+		t.Error("bad p: expected error")
+	}
+	pl, err := NewIntervalPool(x, 1.5, 8, 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.P() != 1.5 || pl.K() != 8 || pl.Len() != 64 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestIntervalPoolCanSketch(t *testing.T) {
+	pl, _ := NewIntervalPool(randSeries(64, 2), 1, 8, 1, 2, 4)
+	ok := [][2]int{{0, 4}, {10, 16}, {0, 32}, {5, 23}, {32, 32}}
+	for _, w := range ok {
+		if err := pl.CanSketch(w[0], w[1]); err != nil {
+			t.Errorf("CanSketch(%v): %v", w, err)
+		}
+	}
+	bad := [][2]int{{0, 2}, {0, 33}, {-1, 8}, {60, 8}, {0, 0}}
+	for _, w := range bad {
+		if err := pl.CanSketch(w[0], w[1]); err == nil {
+			t.Errorf("CanSketch(%v): expected error", w)
+		}
+	}
+}
+
+func TestIntervalPoolIsExact(t *testing.T) {
+	pl, _ := NewIntervalPool(randSeries(64, 3), 1, 8, 1, 2, 4)
+	if !pl.IsExact(8) || !pl.IsExact(16) || !pl.IsExact(4) {
+		t.Error("dyadic lengths should be exact")
+	}
+	if pl.IsExact(12) || pl.IsExact(32) || pl.IsExact(3) {
+		t.Error("non-pooled lengths should not be exact")
+	}
+}
+
+func TestIntervalPoolExactWindowAccuracy(t *testing.T) {
+	x := randSeries(256, 4)
+	const k = 401
+	for _, p := range []float64{1, 2} {
+		pl, err := NewIntervalPool(x, p, k, 5, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp := lpnorm.MustP(p)
+		const length = 32
+		a, b := 10, 150
+		exact := lp.Dist(x[a:a+length], x[b:b+length])
+		est, err := pl.Distance(a, b, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(est-exact) / exact; rel > 0.25 {
+			t.Errorf("p=%v: exact-window rel err %v (exact %v est %v)", p, rel, exact, est)
+		}
+	}
+}
+
+func TestIntervalPoolCompoundSandwich(t *testing.T) {
+	// Non-dyadic windows: estimate within [1-ε, 2(1+ε)] of the true
+	// distance (each cell covered once or twice by the two-piece tiling).
+	x := randSeries(256, 5)
+	pl, err := NewIntervalPool(x, 1, 301, 6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := lpnorm.MustP(1)
+	for _, length := range []int{12, 25, 50} {
+		a, b := 3, 170
+		exact := lp.Dist(x[a:a+length], x[b:b+length])
+		est, err := pl.Distance(a, b, length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < 0.6*exact || est > 3.0*exact {
+			t.Errorf("length %d: compound estimate %v outside [0.6, 3.0]× exact %v",
+				length, est, exact)
+		}
+	}
+}
+
+func TestIntervalPoolCompoundIsSumOfTwo(t *testing.T) {
+	x := randSeries(64, 6)
+	pl, _ := NewIntervalPool(x, 1, 4, 7, 2, 3)
+	s, err := pl.Sketch(5, 11, nil) // dyadic 8: pieces at 5 and 5+11-8=8
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 4)
+	pl.sets[3][0].AddSketchAt(0, 5, want)
+	pl.sets[3][1].AddSketchAt(0, 8, want)
+	for i := range want {
+		if math.Abs(s[i]-want[i]) > 1e-9 {
+			t.Fatalf("entry %d: %v vs %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestIntervalPoolSketchErrors(t *testing.T) {
+	pl, _ := NewIntervalPool(randSeries(64, 7), 1, 4, 8, 2, 4)
+	if _, err := pl.Sketch(0, 2, nil); err == nil {
+		t.Error("too-short window: expected error")
+	}
+	if _, err := pl.Distance(0, 1, 99); err == nil {
+		t.Error("too-long window: expected error")
+	}
+}
+
+func TestNearestWindowFindsPlantedRepeat(t *testing.T) {
+	// A series with a repeated motif: window at 200 repeats the window at
+	// 16 (plus small noise); everything else is independent noise.
+	rng := rand.New(rand.NewPCG(8, 8))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 5
+	}
+	const length = 16
+	for i := 0; i < length; i++ {
+		x[200+i] = x[16+i] + rng.NormFloat64()*0.05
+	}
+	pl, err := NewIntervalPool(x, 2, 301, 9, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, d, err := pl.NearestWindow(16, length, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 200 {
+		t.Errorf("nearest window at %d (dist %v), want 200", start, d)
+	}
+}
+
+func TestNearestWindowErrors(t *testing.T) {
+	pl, _ := NewIntervalPool(randSeries(64, 9), 1, 4, 10, 2, 4)
+	if _, _, err := pl.NearestWindow(0, 8, 0); err == nil {
+		t.Error("stride 0: expected error")
+	}
+	if _, _, err := pl.NearestWindow(0, 99, 1); err == nil {
+		t.Error("bad window: expected error")
+	}
+	// A centered query that overlaps every candidate position leaves no
+	// non-overlapping windows.
+	if _, _, err := pl.NearestWindow(16, 32, 16); err == nil {
+		t.Error("expected no-candidates error")
+	}
+}
+
+func TestBestPairFindsPlantedMotif(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 8
+	}
+	const length = 16
+	// Plant a near-identical motif at 32 and 192.
+	for i := 0; i < length; i++ {
+		x[192+i] = x[32+i] + rng.NormFloat64()*0.01
+	}
+	pl, err := NewIntervalPool(x, 2, 301, 11, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d, err := pl.BestPair(length, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 32 || b != 192 {
+		t.Errorf("BestPair = (%d, %d) dist %v, want (32, 192)", a, b, d)
+	}
+}
+
+func TestBestPairErrors(t *testing.T) {
+	pl, _ := NewIntervalPool(randSeries(64, 12), 1, 4, 13, 2, 4)
+	if _, _, _, err := pl.BestPair(8, 0); err == nil {
+		t.Error("stride 0: expected error")
+	}
+	if _, _, _, err := pl.BestPair(99, 1); err == nil {
+		t.Error("bad length: expected error")
+	}
+	if _, _, _, err := pl.BestPair(32, 64); err == nil {
+		t.Error("single window: expected error")
+	}
+}

@@ -1,0 +1,67 @@
+package tabfile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// FuzzRead hardens the binary parser against corrupt input: any byte
+// soup must either parse into a consistent table or return an error —
+// never panic, never allocate absurdly.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: valid files (both compressions), truncations, and
+	// header mutations.
+	tb := table.New(3, 4)
+	for i, v := range []float64{1, -2, 3.5, 0, 1e300} {
+		tb.Data()[i] = v
+	}
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Write(&buf, tb, compress); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:len(valid)-3])
+		f.Add(valid[:10])
+		mutated := append([]byte(nil), valid...)
+		mutated[5] ^= 0xff
+		f.Add(mutated)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TABF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Rows() <= 0 || got.Cols() <= 0 {
+			t.Fatalf("parsed table with dims %dx%d", got.Rows(), got.Cols())
+		}
+		if len(got.Data()) != got.Rows()*got.Cols() {
+			t.Fatalf("data length %d for %dx%d", len(got.Data()), got.Rows(), got.Cols())
+		}
+	})
+}
+
+// FuzzReadCSV does the same for the CSV importer.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("1.5e10,-2\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("1,2\n3\n")
+	f.Add("NaN,Inf\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := ReadCSV(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		if got.Rows() <= 0 || got.Cols() <= 0 {
+			t.Fatalf("parsed CSV table with dims %dx%d", got.Rows(), got.Cols())
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package tabfile
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		tb := workload.Random(13, 7, 100, 1)
+		tb.Set(0, 0, math.Inf(1))
+		tb.Set(1, 1, -0.0)
+		var buf bytes.Buffer
+		if err := Write(&buf, tb, compress); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows() != 13 || got.Cols() != 7 {
+			t.Fatalf("compress=%v: dims %dx%d", compress, got.Rows(), got.Cols())
+		}
+		for i, v := range got.Data() {
+			if math.Float64bits(v) != math.Float64bits(tb.Data()[i]) {
+				t.Fatalf("compress=%v: cell %d: %v != %v", compress, i, v, tb.Data()[i])
+			}
+		}
+	}
+}
+
+func TestCompressionShrinksRedundantData(t *testing.T) {
+	tb := table.New(64, 64) // all zeros: maximally compressible
+	var plain, packed bytes.Buffer
+	if err := Write(&plain, tb, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&packed, tb, true); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len()/10 {
+		t.Errorf("gzip body %d not much smaller than plain %d", packed.Len(), plain.Len())
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), make([]byte, 24)...),
+		"truncated": {'T', 'A', 'B', 'F', 1},
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadRejectsBadVersionAndDims(t *testing.T) {
+	tb := table.New(2, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, tb, false); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	badVersion := append([]byte(nil), data...)
+	badVersion[4] = 99
+	if _, err := Read(bytes.NewReader(badVersion)); err == nil {
+		t.Error("bad version: expected error")
+	}
+
+	badDims := append([]byte(nil), data...)
+	for i := 8; i < 16; i++ {
+		badDims[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(badDims)); err == nil {
+		t.Error("huge dims: expected error")
+	}
+
+	truncated := data[:len(data)-8]
+	if _, err := Read(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated body: expected error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tabf")
+	tb := workload.Random(5, 5, 10, 2)
+	if err := WriteFile(path, tb, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(tb, got, 0) {
+		t.Error("file roundtrip altered data")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb, _ := table.FromRows([][]float64{
+		{1.5, -2, 3e10},
+		{0, 0.001, -7},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(tb, got, 0) {
+		t.Error("CSV roundtrip altered data")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged CSV: expected error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,notanumber\n")); err == nil {
+		t.Error("non-numeric CSV: expected error")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV: expected error")
+	}
+}

@@ -1,0 +1,104 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalization preprocessing: the paper notes that "depending on
+// applications, one may consider dilation, scaling and other operations
+// on vectors before computing the L1 or L2 norms". These helpers apply
+// the common ones in place, per table row (per station/host), so callers
+// can compare activity *shapes* rather than magnitudes.
+
+// ScaleRows multiplies every row by its own factor; factors must have one
+// entry per row.
+func ScaleRows(t *Table, factors []float64) error {
+	if len(factors) != t.Rows() {
+		return fmt.Errorf("table: %d factors for %d rows", len(factors), t.Rows())
+	}
+	for r := 0; r < t.Rows(); r++ {
+		f := factors[r]
+		row := t.Row(r)
+		for c := range row {
+			row[c] *= f
+		}
+	}
+	return nil
+}
+
+// CenterRows subtracts each row's mean, removing per-entity base levels.
+func CenterRows(t *Table) {
+	for r := 0; r < t.Rows(); r++ {
+		row := t.Row(r)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum / float64(len(row))
+		for c := range row {
+			row[c] -= mean
+		}
+	}
+}
+
+// UnitRows scales each row to unit Euclidean norm (rows that are all
+// zeros are left unchanged), so distances compare temporal shapes
+// independent of volume.
+func UnitRows(t *Table) {
+	for r := 0; r < t.Rows(); r++ {
+		row := t.Row(r)
+		var sumSq float64
+		for _, v := range row {
+			sumSq += v * v
+		}
+		if sumSq == 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(sumSq)
+		for c := range row {
+			row[c] *= inv
+		}
+	}
+}
+
+// StandardizeRows centers each row and scales it to unit standard
+// deviation (constant rows become all zeros).
+func StandardizeRows(t *Table) {
+	for r := 0; r < t.Rows(); r++ {
+		row := t.Row(r)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		n := float64(len(row))
+		mean := sum / n
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		sd := math.Sqrt(varSum / n)
+		if sd == 0 {
+			for c := range row {
+				row[c] = 0
+			}
+			continue
+		}
+		inv := 1 / sd
+		for c := range row {
+			row[c] = (row[c] - mean) * inv
+		}
+	}
+}
+
+// ClampNonNegative replaces negative cells with zero — useful after
+// additive noise on count-valued tables.
+func ClampNonNegative(t *Table) {
+	d := t.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleRows(t *testing.T) {
+	tb, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := ScaleRows(tb, []float64{2, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 4}, {1.5, 2}}
+	for r := range want {
+		for c := range want[r] {
+			if tb.At(r, c) != want[r][c] {
+				t.Errorf("(%d,%d) = %v, want %v", r, c, tb.At(r, c), want[r][c])
+			}
+		}
+	}
+	if err := ScaleRows(tb, []float64{1}); err == nil {
+		t.Error("factor count mismatch: expected error")
+	}
+}
+
+func TestCenterRows(t *testing.T) {
+	tb, _ := FromRows([][]float64{{1, 3}, {10, 10}})
+	CenterRows(tb)
+	if tb.At(0, 0) != -1 || tb.At(0, 1) != 1 {
+		t.Errorf("row 0 = %v", tb.Row(0))
+	}
+	if tb.At(1, 0) != 0 || tb.At(1, 1) != 0 {
+		t.Errorf("row 1 = %v", tb.Row(1))
+	}
+}
+
+func TestUnitRows(t *testing.T) {
+	tb, _ := FromRows([][]float64{{3, 4}, {0, 0}})
+	UnitRows(tb)
+	if math.Abs(tb.At(0, 0)-0.6) > 1e-12 || math.Abs(tb.At(0, 1)-0.8) > 1e-12 {
+		t.Errorf("row 0 = %v", tb.Row(0))
+	}
+	// Zero row untouched.
+	if tb.At(1, 0) != 0 || tb.At(1, 1) != 0 {
+		t.Errorf("zero row modified: %v", tb.Row(1))
+	}
+	// Norm exactly 1.
+	var sumSq float64
+	for _, v := range tb.Row(0) {
+		sumSq += v * v
+	}
+	if math.Abs(sumSq-1) > 1e-12 {
+		t.Errorf("row norm² = %v", sumSq)
+	}
+}
+
+func TestStandardizeRows(t *testing.T) {
+	tb, _ := FromRows([][]float64{{2, 4, 6}, {5, 5, 5}})
+	StandardizeRows(tb)
+	// Row 0: mean 4, sd sqrt(8/3).
+	var sum, sumSq float64
+	for _, v := range tb.Row(0) {
+		sum += v
+		sumSq += v * v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("standardized mean %v", sum/3)
+	}
+	if math.Abs(sumSq/3-1) > 1e-12 {
+		t.Errorf("standardized variance %v", sumSq/3)
+	}
+	// Constant row becomes zeros.
+	for _, v := range tb.Row(1) {
+		if v != 0 {
+			t.Errorf("constant row = %v", tb.Row(1))
+		}
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	tb, _ := FromRows([][]float64{{-1, 2}, {3, -0.5}})
+	ClampNonNegative(tb)
+	for _, v := range tb.Data() {
+		if v < 0 {
+			t.Errorf("negative cell %v survived", v)
+		}
+	}
+	if tb.At(0, 1) != 2 || tb.At(1, 0) != 3 {
+		t.Error("positive cells modified")
+	}
+}

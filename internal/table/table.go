@@ -1,0 +1,203 @@
+// Package table provides the tabular-data substrate of the paper: dense
+// two-dimensional tables of float64 values (stations × time buckets,
+// IP hosts × time, ...), rectangular subtable extraction, tile grids for
+// clustering, and multi-day stitching.
+//
+// Tables are row-major. By the paper's convention the y-axis (rows) indexes
+// entities ordered spatially (e.g. collection stations by zip code) and the
+// x-axis (columns) indexes discretized time.
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is a dense rows×cols matrix of float64 values.
+type Table struct {
+	rows, cols int
+	data       []float64 // row-major, len rows*cols
+}
+
+// New allocates a zeroed rows×cols table. Panics on non-positive dims —
+// an empty table is never meaningful in this library.
+func New(rows, cols int) *Table {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("table: New(%d, %d) with non-positive dims", rows, cols))
+	}
+	return &Table{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromData wraps an existing row-major slice without copying. The slice
+// length must equal rows*cols.
+func FromData(rows, cols int, data []float64) (*Table, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("table: non-positive dims %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("table: data length %d != %d*%d", len(data), rows, cols)
+	}
+	return &Table{rows: rows, cols: cols, data: data}, nil
+}
+
+// FromRows builds a table from a slice of equal-length rows, copying them.
+func FromRows(rows [][]float64) (*Table, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("table: FromRows with empty input")
+	}
+	cols := len(rows[0])
+	t := New(len(rows), cols)
+	for r, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("table: row %d has length %d, want %d", r, len(row), cols)
+		}
+		copy(t.Row(r), row)
+	}
+	return t, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Cols returns the number of columns.
+func (t *Table) Cols() int { return t.cols }
+
+// Size returns the total number of cells.
+func (t *Table) Size() int { return len(t.data) }
+
+// Data returns the underlying row-major storage (not a copy).
+func (t *Table) Data() []float64 { return t.data }
+
+// At returns the value at row r, column c (bounds-checked by the slice).
+func (t *Table) At(r, c int) float64 { return t.data[r*t.cols+c] }
+
+// Set assigns the value at row r, column c.
+func (t *Table) Set(r, c int, v float64) { t.data[r*t.cols+c] = v }
+
+// Row returns row r as a slice aliasing the table storage.
+func (t *Table) Row(r int) []float64 { return t.data[r*t.cols : (r+1)*t.cols] }
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	c := New(t.rows, t.cols)
+	copy(c.data, t.data)
+	return c
+}
+
+// Rect identifies a subrectangle: Rows×Cols cells with top-left corner at
+// (R0, C0).
+type Rect struct {
+	R0, C0     int
+	Rows, Cols int
+}
+
+// String implements fmt.Stringer for debugging and harness output.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d:%d,%d:%d]", r.R0, r.R0+r.Rows, r.C0, r.C0+r.Cols)
+}
+
+// Size returns the cell count of the rectangle.
+func (r Rect) Size() int { return r.Rows * r.Cols }
+
+// In reports whether the rectangle lies fully inside a rows×cols table.
+func (r Rect) In(rows, cols int) bool {
+	return r.R0 >= 0 && r.C0 >= 0 && r.Rows > 0 && r.Cols > 0 &&
+		r.R0+r.Rows <= rows && r.C0+r.Cols <= cols
+}
+
+// check panics if rect is not inside t.
+func (t *Table) check(rect Rect) {
+	if !rect.In(t.rows, t.cols) {
+		panic(fmt.Sprintf("table: rect %v outside table %dx%d", rect, t.rows, t.cols))
+	}
+}
+
+// Sub returns a copy of the subrectangle as a new table.
+func (t *Table) Sub(rect Rect) *Table {
+	t.check(rect)
+	out := New(rect.Rows, rect.Cols)
+	for r := 0; r < rect.Rows; r++ {
+		src := t.data[(rect.R0+r)*t.cols+rect.C0:]
+		copy(out.Row(r), src[:rect.Cols])
+	}
+	return out
+}
+
+// Linearize copies the subrectangle row-major into dst and returns it.
+// If dst is nil or too small a new slice is allocated. This is the
+// "matrix as a vector linearized in some consistent way" of Section 3.2.
+func (t *Table) Linearize(rect Rect, dst []float64) []float64 {
+	t.check(rect)
+	n := rect.Size()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for r := 0; r < rect.Rows; r++ {
+		src := t.data[(rect.R0+r)*t.cols+rect.C0:]
+		copy(dst[r*rect.Cols:(r+1)*rect.Cols], src[:rect.Cols])
+	}
+	return dst
+}
+
+// Stitch concatenates tables horizontally (along the time axis), the way
+// the paper stitches consecutive days into one larger table. All tables
+// must have the same number of rows.
+func Stitch(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("table: Stitch of nothing")
+	}
+	rows := tables[0].rows
+	totalCols := 0
+	for i, tb := range tables {
+		if tb.rows != rows {
+			return nil, fmt.Errorf("table: Stitch row mismatch: table %d has %d rows, want %d", i, tb.rows, rows)
+		}
+		totalCols += tb.cols
+	}
+	out := New(rows, totalCols)
+	for r := 0; r < rows; r++ {
+		dst := out.Row(r)
+		off := 0
+		for _, tb := range tables {
+			copy(dst[off:off+tb.cols], tb.Row(r))
+			off += tb.cols
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes a table for sanity checks and harness reporting.
+type Stats struct {
+	Min, Max, Mean, Sum float64
+}
+
+// Summarize computes Stats over the whole table.
+func (t *Table) Summarize() Stats {
+	s := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range t.data {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(len(t.data))
+	return s
+}
+
+// EqualApprox reports whether two tables have identical shape and all
+// entries within tol of each other.
+func EqualApprox(a, b *Table, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

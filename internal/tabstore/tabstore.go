@@ -1,0 +1,164 @@
+// Package tabstore implements a simple day-partitioned table store: one
+// binary table file per day plus a JSON manifest, mirroring how the
+// paper's data arrives ("the number of calls collected in intervals of 10
+// minutes over the day ... We stitched consecutive days to obtain data
+// sets of various sizes") and the flat-file warehousing (Daytona-style)
+// it sits in.
+//
+// All days of a store share the same row count (the station axis); a
+// contiguous range of days loads as one stitched table ready for tiling
+// and sketching.
+package tabstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tabfile"
+	"repro/internal/table"
+)
+
+const manifestName = "manifest.json"
+
+type dayEntry struct {
+	Label      string `json:"label"`
+	File       string `json:"file"`
+	Cols       int    `json:"cols"`
+	Compressed bool   `json:"compressed"`
+}
+
+type manifest struct {
+	Version int        `json:"version"`
+	Rows    int        `json:"rows"` // 0 until the first day is appended
+	Days    []dayEntry `json:"days"`
+}
+
+// Store is a directory-backed, day-partitioned table store.
+type Store struct {
+	dir string
+	m   manifest
+}
+
+// Open opens (or initializes) a store rooted at dir, which must exist.
+func Open(dir string) (*Store, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tabstore: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("tabstore: %s is not a directory", dir)
+	}
+	s := &Store{dir: dir, m: manifest{Version: 1}}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return s, s.writeManifest()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tabstore: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &s.m); err != nil {
+		return nil, fmt.Errorf("tabstore: parsing manifest: %w", err)
+	}
+	if s.m.Version != 1 {
+		return nil, fmt.Errorf("tabstore: unsupported manifest version %d", s.m.Version)
+	}
+	return s, nil
+}
+
+func (s *Store) writeManifest() error {
+	raw, err := json.MarshalIndent(&s.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tabstore: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("tabstore: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("tabstore: committing manifest: %w", err)
+	}
+	return nil
+}
+
+// Rows returns the station-axis size shared by all days (0 when empty).
+func (s *Store) Rows() int { return s.m.Rows }
+
+// NumDays returns how many days the store holds.
+func (s *Store) NumDays() int { return len(s.m.Days) }
+
+// Labels returns the day labels in append order.
+func (s *Store) Labels() []string {
+	out := make([]string, len(s.m.Days))
+	for i, d := range s.m.Days {
+		out[i] = d.Label
+	}
+	return out
+}
+
+// AppendDay persists t as the next day under the given label. The first
+// appended day fixes the store's row count; later days must match it.
+func (s *Store) AppendDay(label string, t *table.Table, compress bool) error {
+	if label == "" {
+		return fmt.Errorf("tabstore: empty day label")
+	}
+	for _, d := range s.m.Days {
+		if d.Label == label {
+			return fmt.Errorf("tabstore: day %q already exists", label)
+		}
+	}
+	if s.m.Rows == 0 {
+		s.m.Rows = t.Rows()
+	} else if t.Rows() != s.m.Rows {
+		return fmt.Errorf("tabstore: day has %d rows, store has %d", t.Rows(), s.m.Rows)
+	}
+	file := fmt.Sprintf("day-%04d.tabf", len(s.m.Days))
+	if err := tabfile.WriteFile(filepath.Join(s.dir, file), t, compress); err != nil {
+		return err
+	}
+	s.m.Days = append(s.m.Days, dayEntry{
+		Label: label, File: file, Cols: t.Cols(), Compressed: compress,
+	})
+	if err := s.writeManifest(); err != nil {
+		// Roll the in-memory state back so the store stays consistent with
+		// the on-disk manifest.
+		s.m.Days = s.m.Days[:len(s.m.Days)-1]
+		return err
+	}
+	return nil
+}
+
+// Day loads day i.
+func (s *Store) Day(i int) (*table.Table, error) {
+	if i < 0 || i >= len(s.m.Days) {
+		return nil, fmt.Errorf("tabstore: day %d out of range [0, %d)", i, len(s.m.Days))
+	}
+	t, err := tabfile.ReadFile(filepath.Join(s.dir, s.m.Days[i].File))
+	if err != nil {
+		return nil, err
+	}
+	if t.Rows() != s.m.Rows || t.Cols() != s.m.Days[i].Cols {
+		return nil, fmt.Errorf("tabstore: day %d file is %dx%d, manifest says %dx%d",
+			i, t.Rows(), t.Cols(), s.m.Rows, s.m.Days[i].Cols)
+	}
+	return t, nil
+}
+
+// LoadRange loads days [from, to) stitched into one table along the time
+// axis.
+func (s *Store) LoadRange(from, to int) (*table.Table, error) {
+	if from < 0 || to > len(s.m.Days) || from >= to {
+		return nil, fmt.Errorf("tabstore: range [%d, %d) invalid for %d days",
+			from, to, len(s.m.Days))
+	}
+	parts := make([]*table.Table, 0, to-from)
+	for i := from; i < to; i++ {
+		t, err := s.Day(i)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, t)
+	}
+	return table.Stitch(parts...)
+}

@@ -1,0 +1,171 @@
+package tabstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tabfile"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func openStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir: expected error")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f); err == nil {
+		t.Error("file instead of dir: expected error")
+	}
+}
+
+func TestOpenCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt manifest: expected error")
+	}
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, manifestName), []byte(`{"version":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2); err == nil {
+		t.Error("bad version: expected error")
+	}
+}
+
+func TestAppendAndReload(t *testing.T) {
+	s, dir := openStore(t)
+	day0 := workload.Random(8, 10, 1, 1)
+	day1 := workload.Random(8, 12, 1, 2)
+	if err := s.AppendDay("mon", day0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDay("tue", day1, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDays() != 2 || s.Rows() != 8 {
+		t.Fatalf("NumDays %d Rows %d", s.NumDays(), s.Rows())
+	}
+
+	// Reopen from disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumDays() != 2 || s2.Rows() != 8 {
+		t.Fatalf("reloaded NumDays %d Rows %d", s2.NumDays(), s2.Rows())
+	}
+	labels := s2.Labels()
+	if labels[0] != "mon" || labels[1] != "tue" {
+		t.Errorf("labels %v", labels)
+	}
+	got0, err := s2.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(got0, day0, 0) {
+		t.Error("day 0 roundtrip lost data")
+	}
+	got1, err := s2.Day(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(got1, day1, 0) {
+		t.Error("day 1 (compressed) roundtrip lost data")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, _ := openStore(t)
+	if err := s.AppendDay("", workload.Random(4, 4, 1, 1), false); err == nil {
+		t.Error("empty label: expected error")
+	}
+	if err := s.AppendDay("d", workload.Random(4, 4, 1, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDay("d", workload.Random(4, 4, 1, 1), false); err == nil {
+		t.Error("duplicate label: expected error")
+	}
+	if err := s.AppendDay("e", workload.Random(5, 4, 1, 1), false); err == nil {
+		t.Error("row mismatch: expected error")
+	}
+}
+
+func TestLoadRangeStitches(t *testing.T) {
+	s, _ := openStore(t)
+	days := make([]*table.Table, 3)
+	for i := range days {
+		days[i] = workload.Random(6, 4+i, 1, uint64(i))
+		if err := s.AppendDay(labelOf(i), days[i], i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.LoadRange(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := table.Stitch(days...)
+	if !table.EqualApprox(got, want, 0) {
+		t.Error("LoadRange differs from direct stitch")
+	}
+	mid, err := s.LoadRange(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(mid, days[1], 0) {
+		t.Error("single-day range differs from the day")
+	}
+}
+
+func labelOf(i int) string { return string(rune('a' + i)) }
+
+func TestLoadRangeErrors(t *testing.T) {
+	s, _ := openStore(t)
+	if err := s.AppendDay("a", workload.Random(4, 4, 1, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 1}, {0, 2}, {1, 1}, {1, 0}} {
+		if _, err := s.LoadRange(r[0], r[1]); err == nil {
+			t.Errorf("range %v: expected error", r)
+		}
+	}
+	if _, err := s.Day(5); err == nil {
+		t.Error("day out of range: expected error")
+	}
+}
+
+func TestDayDetectsManifestMismatch(t *testing.T) {
+	s, dir := openStore(t)
+	if err := s.AppendDay("a", workload.Random(4, 4, 1, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the day file with different dimensions.
+	other := workload.Random(4, 9, 1, 2)
+	if err := writeRaw(dir, "day-0000.tabf", other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Day(0); err == nil {
+		t.Error("expected manifest/file mismatch error")
+	}
+}
+
+func writeRaw(dir, name string, tb *table.Table) error {
+	return tabfile.WriteFile(filepath.Join(dir, name), tb, false)
+}

@@ -1,0 +1,76 @@
+package vizascii
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// palette holds visually distinct cluster colors (largest cluster renders
+// white like the paper's blank space); cycled when K exceeds its length.
+var palette = []color.RGBA{
+	{230, 25, 75, 255},   // red
+	{60, 120, 216, 255},  // blue
+	{60, 180, 75, 255},   // green
+	{255, 165, 0, 255},   // orange
+	{145, 30, 180, 255},  // purple
+	{70, 200, 200, 255},  // teal
+	{240, 50, 230, 255},  // magenta
+	{128, 128, 0, 255},   // olive
+	{0, 0, 128, 255},     // navy
+	{170, 110, 40, 255},  // brown
+	{128, 0, 0, 255},     // maroon
+	{0, 128, 128, 255},   // dark teal
+	{100, 100, 100, 255}, // gray
+	{210, 180, 30, 255},  // mustard
+	{255, 105, 180, 255}, // pink
+	{34, 90, 34, 255},    // forest
+}
+
+// ColorFor returns the render color of cluster c given the blank cluster
+// id (pass -1 for none).
+func (m *Map) ColorFor(c, blank int) color.RGBA {
+	if c == blank {
+		return color.RGBA{255, 255, 255, 255}
+	}
+	idx := c
+	if blank >= 0 && c > blank {
+		idx--
+	}
+	return palette[idx%len(palette)]
+}
+
+// RenderPNG writes the cluster map as a PNG with cellSize×cellSize pixels
+// per tile, optionally blanking the largest cluster, with a one-pixel
+// grid line between tiles for readability when cellSize ≥ 4.
+func (m *Map) RenderPNG(w io.Writer, cellSize int, blankLargest bool) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if cellSize < 1 {
+		return fmt.Errorf("vizascii: cellSize %d", cellSize)
+	}
+	blank := -1
+	if blankLargest {
+		blank = m.LargestCluster()
+	}
+	img := image.NewRGBA(image.Rect(0, 0, m.GridCols*cellSize, m.GridRows*cellSize))
+	gridLine := color.RGBA{235, 235, 235, 255}
+	for r := 0; r < m.GridRows; r++ {
+		for c := 0; c < m.GridCols; c++ {
+			col := m.ColorFor(m.Assign[r*m.GridCols+c], blank)
+			for y := 0; y < cellSize; y++ {
+				for x := 0; x < cellSize; x++ {
+					px := col
+					if cellSize >= 4 && (y == cellSize-1 || x == cellSize-1) {
+						px = gridLine
+					}
+					img.SetRGBA(c*cellSize+x, r*cellSize+y, px)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}

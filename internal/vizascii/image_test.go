@@ -1,0 +1,87 @@
+package vizascii
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestRenderPNG(t *testing.T) {
+	m := &Map{GridRows: 2, GridCols: 3, K: 3, Assign: []int{0, 1, 2, 2, 1, 0}}
+	var buf bytes.Buffer
+	if err := m.RenderPNG(&buf, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 24 || b.Dy() != 16 {
+		t.Errorf("image %dx%d, want 24x16", b.Dx(), b.Dy())
+	}
+}
+
+func TestRenderPNGColors(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 2, K: 2, Assign: []int{0, 1}}
+	var buf bytes.Buffer
+	if err := m.RenderPNG(&buf, 2, false); err != nil { // cellSize<4: no grid lines
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, g0, b0, _ := img.At(0, 0).RGBA()
+	r1, g1, b1, _ := img.At(2, 0).RGBA()
+	if r0 == r1 && g0 == g1 && b0 == b1 {
+		t.Error("different clusters rendered identically")
+	}
+}
+
+func TestRenderPNGBlanksLargestAsWhite(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 3, K: 2, Assign: []int{0, 0, 1}}
+	var buf bytes.Buffer
+	if err := m.RenderPNG(&buf, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if r != 0xffff || g != 0xffff || b != 0xffff {
+		t.Errorf("largest cluster pixel not white: %v %v %v", r, g, b)
+	}
+}
+
+func TestRenderPNGErrors(t *testing.T) {
+	bad := &Map{GridRows: 0}
+	var buf bytes.Buffer
+	if err := bad.RenderPNG(&buf, 4, false); err == nil {
+		t.Error("invalid map: expected error")
+	}
+	good := &Map{GridRows: 1, GridCols: 1, K: 1, Assign: []int{0}}
+	if err := good.RenderPNG(&buf, 0, false); err == nil {
+		t.Error("cellSize 0: expected error")
+	}
+}
+
+func TestColorForCompaction(t *testing.T) {
+	m := &Map{K: 3}
+	white := m.ColorFor(1, 1)
+	if white.R != 255 || white.G != 255 || white.B != 255 {
+		t.Error("blank cluster should be white")
+	}
+	if m.ColorFor(0, 1) != palette[0] {
+		t.Error("cluster below blank keeps its slot")
+	}
+	if m.ColorFor(2, 1) != palette[1] {
+		t.Error("cluster above blank compacts down")
+	}
+	// Cycling beyond the palette.
+	big := &Map{K: 40}
+	if big.ColorFor(20, -1) != palette[20%len(palette)] {
+		t.Error("palette cycling wrong")
+	}
+}

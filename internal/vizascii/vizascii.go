@@ -1,0 +1,165 @@
+// Package vizascii renders tile-grid clusterings as ASCII maps, the
+// medium for reproducing the Figure 5 case study: each character cell is
+// one tile, each cluster gets a distinct glyph, and (as in the paper) the
+// largest cluster is rendered blank "since it effectively represents a low
+// volume of calls, and it is only the higher call volumes that show
+// interesting patterns".
+package vizascii
+
+import (
+	"fmt"
+	"strings"
+)
+
+// glyphs is the palette assigned to clusters in order of cluster id,
+// skipping the blank reserved for the largest cluster. Darker-looking
+// glyphs come first so dense clusters read as dark regions.
+const glyphs = "#@%&8WMB*+=o:~-.^'`xXoOzZsSvVnNuUtTrRqQpPkKjJhHgGfFdDcCbBaA"
+
+// Map is a clustering laid out on a tile grid: Assign[r*GridCols+c] is the
+// cluster of the tile at grid position (r, c).
+type Map struct {
+	GridRows, GridCols int
+	K                  int
+	Assign             []int
+}
+
+// Validate checks internal consistency.
+func (m *Map) Validate() error {
+	if m.GridRows <= 0 || m.GridCols <= 0 {
+		return fmt.Errorf("vizascii: non-positive grid %dx%d", m.GridRows, m.GridCols)
+	}
+	if m.K <= 0 {
+		return fmt.Errorf("vizascii: k = %d", m.K)
+	}
+	if len(m.Assign) != m.GridRows*m.GridCols {
+		return fmt.Errorf("vizascii: %d assignments for %dx%d grid",
+			len(m.Assign), m.GridRows, m.GridCols)
+	}
+	for i, c := range m.Assign {
+		if c < 0 || c >= m.K {
+			return fmt.Errorf("vizascii: assignment %d at tile %d outside [0,%d)", c, i, m.K)
+		}
+	}
+	return nil
+}
+
+// LargestCluster returns the id of the most populous cluster.
+func (m *Map) LargestCluster() int {
+	counts := make([]int, m.K)
+	for _, c := range m.Assign {
+		counts[c]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// GlyphFor returns the character used for cluster c when blank is the
+// blank cluster id (pass -1 for no blank cluster).
+func (m *Map) GlyphFor(c, blank int) byte {
+	if c == blank {
+		return ' '
+	}
+	// Stable glyph assignment: cluster ids map to palette positions,
+	// skipping over the blank cluster so palettes stay dense.
+	idx := c
+	if blank >= 0 && c > blank {
+		idx--
+	}
+	return glyphs[idx%len(glyphs)]
+}
+
+// Render produces the ASCII map, one text row per grid row. When
+// blankLargest is set the most populous cluster renders as spaces.
+func (m *Map) Render(blankLargest bool) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	blank := -1
+	if blankLargest {
+		blank = m.LargestCluster()
+	}
+	var b strings.Builder
+	b.Grow((m.GridCols + 1) * m.GridRows)
+	for r := 0; r < m.GridRows; r++ {
+		for c := 0; c < m.GridCols; c++ {
+			b.WriteByte(m.GlyphFor(m.Assign[r*m.GridCols+c], blank))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// RenderWithHourAxis renders the map with an hour ruler along the top,
+// for grids whose columns are time slots. hoursPerCol is the time span of
+// one column (e.g. 1.0 when tiles are an hour wide, the paper's layout).
+// Labels are placed every four hours.
+func (m *Map) RenderWithHourAxis(hoursPerCol float64, blankLargest bool) (string, error) {
+	if hoursPerCol <= 0 {
+		return "", fmt.Errorf("vizascii: hoursPerCol = %v", hoursPerCol)
+	}
+	body, err := m.Render(blankLargest)
+	if err != nil {
+		return "", err
+	}
+	ruler := make([]byte, m.GridCols)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	// Labels every 4 hours, widened to the smallest multiple of 4 whose
+	// column span fits a "HH:00" label plus a gap without overlap.
+	const labelWidth = 6 // len("HH:00") + 1 gap
+	interval := 4.0
+	for interval/hoursPerCol < labelWidth {
+		interval += 4
+	}
+	var labels strings.Builder
+	for col := 0; col < m.GridCols; col++ {
+		hour := float64(col) * hoursPerCol
+		if remainderNear(hour, interval) {
+			label := fmt.Sprintf("%02d:00", int(hour)%24)
+			if col+len(label) <= m.GridCols {
+				copy(ruler[col:], label)
+			}
+		}
+	}
+	labels.Write(ruler)
+	labels.WriteByte('\n')
+	labels.WriteString(body)
+	return labels.String(), nil
+}
+
+func remainderNear(x, mod float64) bool {
+	r := x - mod*float64(int(x/mod))
+	return r < 1e-9
+}
+
+// Legend lists each cluster's glyph and population, largest first blanked.
+func (m *Map) Legend(blankLargest bool) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	blank := -1
+	if blankLargest {
+		blank = m.LargestCluster()
+	}
+	counts := make([]int, m.K)
+	for _, c := range m.Assign {
+		counts[c]++
+	}
+	var b strings.Builder
+	for c := 0; c < m.K; c++ {
+		g := m.GlyphFor(c, blank)
+		name := string(g)
+		if g == ' ' {
+			name = "(blank)"
+		}
+		fmt.Fprintf(&b, "cluster %2d %-7s %5d tiles\n", c, name, counts[c])
+	}
+	return b.String(), nil
+}

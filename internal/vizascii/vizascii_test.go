@@ -1,0 +1,148 @@
+package vizascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Map{GridRows: 2, GridCols: 3, K: 2, Assign: []int{0, 1, 0, 1, 0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Map{
+		{GridRows: 0, GridCols: 3, K: 2, Assign: nil},
+		{GridRows: 2, GridCols: 3, K: 0, Assign: make([]int, 6)},
+		{GridRows: 2, GridCols: 3, K: 2, Assign: make([]int, 5)},
+		{GridRows: 1, GridCols: 1, K: 2, Assign: []int{5}},
+		{GridRows: 1, GridCols: 1, K: 2, Assign: []int{-1}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLargestCluster(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 5, K: 3, Assign: []int{1, 1, 1, 0, 2}}
+	if got := m.LargestCluster(); got != 1 {
+		t.Errorf("LargestCluster = %d, want 1", got)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	m := &Map{GridRows: 2, GridCols: 4, K: 2, Assign: []int{0, 0, 1, 1, 1, 1, 0, 0}}
+	out, err := m.Render(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 4 {
+			t.Fatalf("line %q has length %d, want 4", l, len(l))
+		}
+	}
+	if lines[0][0] != lines[0][1] || lines[0][0] == lines[0][2] {
+		t.Error("glyph assignment inconsistent")
+	}
+}
+
+func TestRenderBlankLargest(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 4, K: 2, Assign: []int{0, 0, 0, 1}}
+	out, err := m.Render(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "   ") {
+		t.Errorf("largest cluster not blanked: %q", out)
+	}
+	if out[3] == ' ' {
+		t.Error("minority cluster blanked")
+	}
+}
+
+func TestGlyphsDistinctAcrossClusters(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 10, K: 10, Assign: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	out, err := m.Render(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := strings.TrimRight(out, "\n")
+	seen := map[byte]bool{}
+	for i := 0; i < len(row); i++ {
+		if seen[row[i]] {
+			t.Fatalf("duplicate glyph %q in %q", row[i], row)
+		}
+		seen[row[i]] = true
+	}
+}
+
+func TestGlyphForSkipsBlank(t *testing.T) {
+	m := &Map{K: 3}
+	if g := m.GlyphFor(1, 1); g != ' ' {
+		t.Error("blank cluster should render as space")
+	}
+	// With cluster 0 blanked, clusters 1 and 2 shift down one palette slot.
+	if m.GlyphFor(1, 0) != glyphs[0] || m.GlyphFor(2, 0) != glyphs[1] {
+		t.Error("palette compaction after blank wrong")
+	}
+	if m.GlyphFor(0, -1) != glyphs[0] {
+		t.Error("no-blank glyph wrong")
+	}
+}
+
+func TestRenderWithHourAxis(t *testing.T) {
+	assign := make([]int, 24)
+	for i := range assign {
+		assign[i] = i % 2
+	}
+	m := &Map{GridRows: 1, GridCols: 24, K: 2, Assign: assign}
+	out, err := m.RenderWithHourAxis(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At one column per hour, labels widen to every 8 hours to avoid
+	// overlap: 00:00, 08:00, 16:00.
+	if !strings.Contains(out, "00:00") || !strings.Contains(out, "08:00") ||
+		!strings.Contains(out, "16:00") {
+		t.Errorf("hour ruler missing labels:\n%s", out)
+	}
+	if strings.Contains(out, "04:00") {
+		t.Errorf("overlapping 04:00 label should have been dropped:\n%s", out)
+	}
+	if _, err := m.RenderWithHourAxis(0, false); err == nil {
+		t.Error("hoursPerCol=0: expected error")
+	}
+}
+
+func TestLegend(t *testing.T) {
+	m := &Map{GridRows: 1, GridCols: 4, K: 2, Assign: []int{0, 0, 0, 1}}
+	out, err := m.Legend(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(blank)") {
+		t.Errorf("legend missing blank marker:\n%s", out)
+	}
+	if !strings.Contains(out, "3 tiles") || !strings.Contains(out, "1 tiles") {
+		t.Errorf("legend missing counts:\n%s", out)
+	}
+	bad := &Map{GridRows: 0}
+	if _, err := bad.Legend(false); err == nil {
+		t.Error("invalid map: expected error")
+	}
+}
+
+func TestRenderInvalid(t *testing.T) {
+	bad := &Map{GridRows: 0}
+	if _, err := bad.Render(false); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := bad.RenderWithHourAxis(1, false); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/table"
+)
+
+// TrafficConfig parameterizes the synthetic router-traffic table of the
+// paper's second motivating application: rows are destination hosts
+// (grouped into address blocks that share a diurnal profile), columns are
+// time buckets, and cells hold forwarded byte counts.
+type TrafficConfig struct {
+	Hosts         int // rows; grouped into blocks of BlockSize
+	Days          int
+	BucketsPerDay int // 0 picks 96 (15-minute buckets)
+	BlockSize     int // hosts per address block; 0 picks 16
+	Seed          uint64
+	FlashProb     float64 // probability a cell is a flash-crowd spike; 0 picks 0.001, negative disables
+	FlashFactor   float64 // spike multiplier; 0 picks 20
+}
+
+func (c *TrafficConfig) fill() error {
+	if c.Hosts <= 0 || c.Days <= 0 {
+		return fmt.Errorf("workload: non-positive traffic dims (%d hosts, %d days)", c.Hosts, c.Days)
+	}
+	if c.BucketsPerDay == 0 {
+		c.BucketsPerDay = 96
+	}
+	if c.BucketsPerDay <= 0 {
+		return fmt.Errorf("workload: non-positive buckets per day %d", c.BucketsPerDay)
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 16
+	}
+	if c.BlockSize <= 0 || c.BlockSize > c.Hosts {
+		return fmt.Errorf("workload: block size %d for %d hosts", c.BlockSize, c.Hosts)
+	}
+	if c.FlashProb == 0 {
+		c.FlashProb = 0.001
+	}
+	if c.FlashProb < 0 {
+		c.FlashProb = 0
+	}
+	if c.FlashFactor == 0 {
+		c.FlashFactor = 20
+	}
+	if c.FlashFactor < 1 {
+		return fmt.Errorf("workload: flash factor %v below 1", c.FlashFactor)
+	}
+	return nil
+}
+
+// Traffic generates the synthetic host×time traffic table: each block of
+// hosts shares a diurnal sine profile with a block-specific phase, each
+// host has a lognormal base level, and occasional flash-crowd spikes
+// multiply single cells.
+func Traffic(cfg TrafficConfig) (*table.Table, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf10e))
+	t := table.New(cfg.Hosts, cfg.Days*cfg.BucketsPerDay)
+	for h := 0; h < cfg.Hosts; h++ {
+		block := h / cfg.BlockSize
+		phase := float64(block%8) / 8 * 2 * math.Pi
+		level := 100 * math.Exp(rng.NormFloat64()*0.5)
+		row := t.Row(h)
+		for x := range row {
+			tt := float64(x%cfg.BucketsPerDay) / float64(cfg.BucketsPerDay) * 2 * math.Pi
+			diurnal := 1 + 0.8*math.Sin(tt-phase)
+			v := level * diurnal * (1 + 0.2*rng.NormFloat64())
+			if cfg.FlashProb > 0 && rng.Float64() < cfg.FlashProb {
+				v *= cfg.FlashFactor
+			}
+			if v < 0 {
+				v = 0
+			}
+			row[x] = v
+		}
+	}
+	return t, nil
+}

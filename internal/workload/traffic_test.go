@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestTrafficDims(t *testing.T) {
+	tb, err := Traffic(TrafficConfig{Hosts: 32, Days: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 32 || tb.Cols() != 2*96 {
+		t.Fatalf("dims %dx%d", tb.Rows(), tb.Cols())
+	}
+}
+
+func TestTrafficErrors(t *testing.T) {
+	cases := []TrafficConfig{
+		{Hosts: 0, Days: 1},
+		{Hosts: 4, Days: 0},
+		{Hosts: 4, Days: 1, BucketsPerDay: -1},
+		{Hosts: 4, Days: 1, BlockSize: 8},
+		{Hosts: 4, Days: 1, BlockSize: -1},
+		{Hosts: 4, Days: 1, FlashFactor: 0.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Traffic(cfg); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+func TestTrafficNonNegativeAndVaried(t *testing.T) {
+	tb, err := Traffic(TrafficConfig{Hosts: 16, Days: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, v := range tb.Data() {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("invalid cell %v", v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) < tb.Size()/2 {
+		t.Errorf("suspiciously few distinct values: %d of %d", len(distinct), tb.Size())
+	}
+}
+
+func TestTrafficBlocksShareProfile(t *testing.T) {
+	// Hosts in the same block must correlate in time far more than hosts
+	// in phase-opposed blocks.
+	tb, err := Traffic(TrafficConfig{Hosts: 80, Days: 1, BlockSize: 16, Seed: 3, FlashProb: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(a, b []float64) float64 {
+		var ma, mb float64
+		for i := range a {
+			ma += a[i]
+			mb += b[i]
+		}
+		ma /= float64(len(a))
+		mb /= float64(len(b))
+		var num, da, db float64
+		for i := range a {
+			x, y := a[i]-ma, b[i]-mb
+			num += x * y
+			da += x * x
+			db += y * y
+		}
+		return num / math.Sqrt(da*db)
+	}
+	sameBlock := corr(tb.Row(0), tb.Row(1))        // block 0
+	oppositeBlock := corr(tb.Row(0), tb.Row(4*16)) // block 4: phase shift π
+	if sameBlock < 0.5 {
+		t.Errorf("same-block correlation %v too low", sameBlock)
+	}
+	if oppositeBlock > sameBlock-0.5 {
+		t.Errorf("opposite-block correlation %v not far below same-block %v",
+			oppositeBlock, sameBlock)
+	}
+}
+
+func TestTrafficFlashCrowds(t *testing.T) {
+	quiet, _ := Traffic(TrafficConfig{Hosts: 32, Days: 2, Seed: 4, FlashProb: -1})
+	spiky, _ := Traffic(TrafficConfig{Hosts: 32, Days: 2, Seed: 4, FlashProb: 0.01, FlashFactor: 50})
+	if quiet.Summarize().Max*10 > spiky.Summarize().Max {
+		t.Errorf("flash crowds not visible: quiet max %v, spiky max %v",
+			quiet.Summarize().Max, spiky.Summarize().Max)
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	a, err := Traffic(TrafficConfig{Hosts: 16, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Traffic(TrafficConfig{Hosts: 16, Days: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(a, b, 0) {
+		t.Error("same seed produced different traffic")
+	}
+}
