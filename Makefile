@@ -1,0 +1,39 @@
+# Build/test entry points. `make race` is the tier the concurrency layer
+# is developed against: the parallel sketching and clustering paths must
+# stay race-clean, and several tests (internal/fft, internal/stable,
+# internal/parallel) exist specifically to put shared caches under
+# concurrent load for the race detector.
+
+GO       ?= go
+FUZZTIME ?= 15s
+
+.PHONY: build test race bench fuzz vet all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package — required to stay clean.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Benchmarks; -cpu exercises the parallel paths at several core budgets
+# (workers default to GOMAXPROCS, which -cpu sets).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' -cpu 1,4,8 .
+
+# Short fuzzing pass over every fuzz target (each target needs its own
+# invocation; the seed corpora also run under plain `make test`).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzPoolSketchRect -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzSelectAgainstSort -fuzztime=$(FUZZTIME) ./internal/quantile
+	$(GO) test -run='^$$' -fuzz=FuzzMedianAndQuantileAgainstSort -fuzztime=$(FUZZTIME) ./internal/quantile
+	$(GO) test -run='^$$' -fuzz=FuzzRead$$ -fuzztime=$(FUZZTIME) ./internal/tabfile
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/tabfile

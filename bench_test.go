@@ -474,6 +474,60 @@ func BenchmarkMiningAlgorithms(b *testing.B) {
 	})
 }
 
+// BenchmarkAllPositionsParallel measures the worker fan-out over the k
+// sketch matrices in all-positions preprocessing (Theorem 3). Run with
+// `-cpu 1,4,8`: "serial" pins one worker as the baseline, "parallel"
+// resolves Workers=0 to GOMAXPROCS, so the pair isolates the speedup at
+// each core budget. Same seed on both paths — the determinism contract
+// says the planes must be byte-identical regardless of worker count.
+func BenchmarkAllPositionsParallel(b *testing.B) {
+	tb := workload.Random(128, 128, 1, 17)
+	const k, edge = 32, 16
+	for name, workers := range map[string]int{"serial": 1, "parallel": 0} {
+		b.Run(name, func(b *testing.B) {
+			sk, err := core.NewSketcher(1, k, edge, edge, 7, core.EstimatorAuto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sk.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sk.AllPositions(tb)
+			}
+		})
+	}
+}
+
+// BenchmarkKMeansSketchedParallel measures the parallel point→centroid
+// assignment loop over sketch-space points (the sketched clustering path
+// of Figure 3 with the Workers knob on). Run with `-cpu 1,4,8`. The
+// parallel variant uses ConcurrentDist, whose sync.Pool scratch makes
+// the distance callback reentrant; results must match serial bit-for-bit.
+func BenchmarkKMeansSketchedParallel(b *testing.B) {
+	tiles, tileRows, tileCols := benchTiles(b)
+	const clusters, sketchK = 8, 128
+	sk, err := core.NewSketcher(1, sketchK, tileRows, tileCols, 5, core.EstimatorAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := make([][]float64, len(tiles))
+	for i, tile := range tiles {
+		points[i] = sk.Sketch(tile, nil)
+	}
+	for name, workers := range map[string]int{"serial": 0, "parallel": -1} {
+		b.Run(name, func(b *testing.B) {
+			dist := sk.ConcurrentDist()
+			cfg := cluster.Config{K: clusters, Seed: 5, Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.KMeans(points, dist, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPoolBuild measures Theorem 6's preprocessing (all dyadic
 // sizes) and the parallel-construction ablation.
 func BenchmarkPoolBuild(b *testing.B) {

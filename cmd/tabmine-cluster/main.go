@@ -38,6 +38,7 @@ func main() {
 		hoursPer = flag.Float64("hours-per-col", 0, "label map columns as hours with this span (0 = no ruler)")
 		pngOut   = flag.String("png", "", "also write the cluster map as a PNG to this path")
 		pngCell  = flag.Int("png-cell", 12, "pixels per tile in the PNG map")
+		workers  = flag.Int("workers", 0, "worker goroutines for sketching and clustering (0 = all cores)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -68,14 +69,15 @@ func main() {
 	case "precomputed", "ondemand":
 		sk, err := core.NewSketcher(*p, *sketchK, *tileRows, *tileCols, *seed, core.EstimatorAuto)
 		fatal(err)
+		sk.SetWorkers(*workers)
 		t0 := time.Now()
 		points = make([][]float64, len(tiles))
 		for i, tile := range tiles {
 			points[i] = sk.Sketch(tile, nil)
 		}
 		prep = time.Since(t0)
-		scratch := make([]float64, *sketchK)
-		dist = func(a, b []float64) float64 { return sk.DistanceScratch(a, b, scratch) }
+		// ConcurrentDist is reentrant, which parallel k-means requires.
+		dist = sk.ConcurrentDist()
 		if *mode == "precomputed" {
 			fmt.Printf("sketches precomputed in %v (k=%d)\n", prep, *sketchK)
 		} else {
@@ -85,8 +87,14 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	clusterWorkers := *workers
+	if clusterWorkers == 0 {
+		clusterWorkers = -1 // cluster.Config: negative = all cores, 0 = serial
+	}
 	t0 := time.Now()
-	res, err := cluster.KMeans(points, dist, cluster.Config{K: *clusters, Seed: *seed})
+	res, err := cluster.KMeans(points, dist, cluster.Config{
+		K: *clusters, Seed: *seed, Workers: clusterWorkers,
+	})
 	fatal(err)
 	elapsed := time.Since(t0)
 	if *mode == "ondemand" {

@@ -11,19 +11,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5 | baselines | all")
-		scale = flag.Int("scale", 1, "workload scale multiplier (1 = laptop defaults)")
-		seed  = flag.Uint64("seed", 42, "experiment seed")
+		fig     = flag.String("fig", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5 | baselines | all")
+		scale   = flag.Int("scale", 1, "workload scale multiplier (1 = laptop defaults)")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+		workers = flag.Int("workers", 0, "cap worker goroutines across all experiments (0 = all cores)")
 	)
 	flag.Parse()
 	if *scale < 1 {
 		fatal(fmt.Errorf("scale must be >= 1"))
+	}
+	if *workers > 0 {
+		// Every internal fan-out resolves its default worker count from
+		// GOMAXPROCS, so capping it here bounds the whole suite. Results
+		// are identical at any setting (the determinism contract).
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	run := map[string]func(){

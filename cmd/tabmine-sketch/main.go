@@ -54,6 +54,7 @@ func main() {
 		usePool  = flag.Bool("pool", false, "use a dyadic compound-sketch pool (Theorem 6)")
 		savePool = flag.String("save-pool", "", "with -pool: save the built pool to this file")
 		loadPool = flag.String("load-pool", "", "with -pool: load a previously saved pool instead of building")
+		workers  = flag.Int("workers", 0, "worker goroutines for sketch construction (0 = all cores)")
 	)
 	flag.Parse()
 	if *in == "" || *rectA == "" || *rectB == "" {
@@ -110,6 +111,7 @@ func main() {
 			var err error
 			pool, err = core.NewPool(tb, *p, *k, *seed, core.PoolOptions{
 				MinLogRows: ei, MaxLogRows: ei, MinLogCols: ej, MaxLogCols: ej,
+				Workers: *workers,
 			})
 			fatal(err)
 		}
@@ -134,6 +136,7 @@ func main() {
 		t0 = time.Now()
 		sk, err := core.NewSketcher(*p, *k, a.Rows, a.Cols, *seed, core.EstimatorAuto)
 		fatal(err)
+		sk.SetWorkers(*workers)
 		cache := core.NewCache(tb, sk)
 		prepTime = time.Since(t0)
 		t0 = time.Now()

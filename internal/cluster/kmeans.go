@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"repro/internal/parallel"
 )
 
 // DistFunc measures the distance between two points of equal length.
@@ -45,6 +47,33 @@ type Config struct {
 	MaxIter int    // 0 means the default of 100
 	Seed    uint64 // RNG seed for initialization
 	Init    InitMethod
+	// Workers parallelizes the point→centroid assignment step (and the
+	// k-medoids per-cluster medoid search). 0 or 1 keeps the serial
+	// default; n > 1 fans out over n goroutines; negative means
+	// runtime.GOMAXPROCS(0).
+	//
+	// With Workers != 1 the dist function is called from multiple
+	// goroutines concurrently and MUST be safe for concurrent use — a
+	// closure over one shared scratch buffer is not. Use
+	// Sketcher.ConcurrentDist (or any pure function, like lpnorm.P.Dist)
+	// for sketch distances. Results are byte-identical at any worker
+	// count: each point's assignment is written to its own slot and no
+	// floating-point reduction crosses a worker boundary.
+	Workers int
+}
+
+// workers resolves the Workers knob; see its doc comment. Unlike
+// parallel.Resolve, 0 means serial here: parallel assignment requires a
+// concurrency-safe dist, which the zero Config must not assume.
+func (cfg Config) workers() int {
+	switch {
+	case cfg.Workers < 0:
+		return parallel.Resolve(0)
+	case cfg.Workers == 0:
+		return 1
+	default:
+		return cfg.Workers
+	}
 }
 
 // Result reports a clustering.
@@ -101,23 +130,11 @@ func KMeans(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 		sums[c] = make([]float64, dim)
 	}
 
+	workers := cfg.workers()
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		changed := 0
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				d := dist(p, cent)
-				res.Comparisons++
-				if d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed++
-			}
-		}
+		changed := assignPoints(points, centroids, assign, dist, workers)
+		res.Comparisons += int64(n) * int64(cfg.K)
 		if changed == 0 {
 			res.Converged = true
 			break
@@ -164,22 +181,60 @@ func KMeans(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// assignPoints writes each point's nearest centroid into assign and
+// returns how many assignments changed. The loop fans out over points
+// (each point writes only assign[i]), and ties break toward the lower
+// centroid index exactly as in the serial loop, so the result is
+// identical at every worker count. dist must be concurrency-safe when
+// workers > 1 (see Config.Workers).
+func assignPoints(points, centroids [][]float64, assign []int, dist DistFunc, workers int) int {
+	nb := parallel.NumBlocks(workers, len(points))
+	changedPer := make([]int, nb)
+	parallel.Blocks(workers, len(points), func(lo, hi, block int) {
+		changed := 0
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d := dist(p, cent)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		changedPer[block] = changed
+	})
+	changed := 0
+	for _, c := range changedPer {
+		changed += c
+	}
+	return changed
+}
+
 func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.Rand, comparisons *int64) [][]float64 {
 	n, dim := len(points), len(points[0])
 	centroids := make([][]float64, cfg.K)
 	for c := range centroids {
 		centroids[c] = make([]float64, dim)
 	}
+	workers := cfg.workers()
 	switch cfg.Init {
 	case InitPlusPlus:
-		// k-means++: first centroid uniform, then D²-weighted.
+		// k-means++: first centroid uniform, then D²-weighted. The D²
+		// scans fan out over points (d2[i] is point i's slot); the
+		// RNG-driven selection between scans stays serial so the random
+		// sequence is identical at any worker count.
 		copy(centroids[0], points[rng.IntN(n)])
 		d2 := make([]float64, n)
-		for i, p := range points {
-			d := dist(p, centroids[0])
-			*comparisons++
+		parallel.For(workers, n, func(i int) {
+			d := dist(points[i], centroids[0])
 			d2[i] = d * d
-		}
+		})
+		*comparisons += int64(n)
 		for c := 1; c < cfg.K; c++ {
 			var total float64
 			for _, v := range d2 {
@@ -198,13 +253,14 @@ func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.R
 				}
 			}
 			copy(centroids[c], points[idx])
-			for i, p := range points {
-				d := dist(p, centroids[c])
-				*comparisons++
+			cent := centroids[c]
+			parallel.For(workers, n, func(i int) {
+				d := dist(points[i], cent)
 				if dd := d * d; dd < d2[i] {
 					d2[i] = dd
 				}
-			}
+			})
+			*comparisons += int64(n)
 		}
 	default:
 		// Distinct random points via partial Fisher–Yates.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"repro/internal/parallel"
 )
 
 // KMedoids clusters points around k medoids (actual data points) using
@@ -42,18 +44,22 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 
 	medoids := make([]int, cfg.K) // indices into points
 	perm := rng.Perm(n)
+	workers := cfg.workers()
 	switch cfg.Init {
 	case InitPlusPlus:
 		// D²-weighted seeding, as in k-means++: spreads the initial
 		// medoids across the data and avoids the classic Voronoi-iteration
-		// trap of two seeds in one blob.
+		// trap of two seeds in one blob. The D² scans fan out over points
+		// (disjoint d2 slots); the RNG selection stays serial, so the
+		// seeding is identical at any worker count.
 		medoids[0] = rng.IntN(n)
 		d2 := make([]float64, n)
-		for i, p := range points {
-			d := dist(p, points[medoids[0]])
-			res.Comparisons++
+		first := points[medoids[0]]
+		parallel.For(workers, n, func(i int) {
+			d := dist(points[i], first)
 			d2[i] = d * d
-		}
+		})
+		res.Comparisons += int64(n)
 		for c := 1; c < cfg.K; c++ {
 			var total float64
 			for _, v := range d2 {
@@ -70,13 +76,14 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 				}
 			}
 			medoids[c] = idx
-			for i, p := range points {
-				d := dist(p, points[idx])
-				res.Comparisons++
+			cand := points[idx]
+			parallel.For(workers, n, func(i int) {
+				d := dist(points[i], cand)
 				if dd := d * d; dd < d2[i] {
 					d2[i] = dd
 				}
-			}
+			})
+			res.Comparisons += int64(n)
 		}
 	default:
 		copy(medoids, perm[:cfg.K])
@@ -84,24 +91,15 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 
 	assign := res.Assign
 	members := make([][]int, cfg.K)
+	medoidPoints := make([][]float64, cfg.K)
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
-		// Assignment step.
-		changed := 0
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, m := range medoids {
-				d := dist(p, points[m])
-				res.Comparisons++
-				if d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed++
-			}
+		// Assignment step, fanned out over points exactly as in k-means.
+		for c, m := range medoids {
+			medoidPoints[c] = points[m]
 		}
+		changed := assignPoints(points, medoidPoints, assign, dist, workers)
+		res.Comparisons += int64(n) * int64(cfg.K)
 		if changed == 0 && iter > 0 {
 			res.Converged = true
 			break
@@ -114,25 +112,38 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 		for i, c := range assign {
 			members[c] = append(members[c], i)
 		}
+		// Reseed empty clusters serially first: the RNG draws must happen
+		// in cluster order for the run to be worker-count-independent.
 		for c, mem := range members {
 			if len(mem) == 0 {
-				// Empty cluster: reseed at a random non-medoid point.
 				medoids[c] = perm[rng.IntN(n)]
-				continue
+			}
+		}
+		// The per-cluster medoid searches are independent (medoids[c] is
+		// cluster c's slot) and quadratic in cluster size — the hot part
+		// of a k-medoids iteration — so they fan out over clusters.
+		var comparisons int64
+		for _, mem := range members {
+			comparisons += int64(len(mem)) * int64(len(mem))
+		}
+		res.Comparisons += comparisons
+		parallel.For(workers, cfg.K, func(c int) {
+			mem := members[c]
+			if len(mem) == 0 {
+				return
 			}
 			bestIdx, bestSum := medoids[c], math.Inf(1)
 			for _, cand := range mem {
 				var sum float64
 				for _, other := range mem {
 					sum += dist(points[cand], points[other])
-					res.Comparisons++
 				}
 				if sum < bestSum {
 					bestIdx, bestSum = cand, sum
 				}
 			}
 			medoids[c] = bestIdx
-		}
+		})
 	}
 	res.Centroids = make([][]float64, cfg.K)
 	for c, m := range medoids {

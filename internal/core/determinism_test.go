@@ -1,0 +1,108 @@
+package core
+
+// The parallel layer's design contract is strict determinism: every
+// fan-out writes per-matrix / per-chunk results to disjoint pre-allocated
+// slots, so the same seed must yield BYTE-identical output at any worker
+// count. These tests pin that contract for each parallelized hot path;
+// comparisons are on Float64bits, not within a tolerance.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// workerCounts is the grid the determinism suite runs: serial, the
+// smallest parallel split, and everything the machine has.
+func workerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSketchDeterministicAcrossWorkers(t *testing.T) {
+	// 64 matrices × 32×32 tile = 65536 flops, above the parallel
+	// threshold, so the fan-out really runs when workers > 1.
+	const k, edge = 64, 32
+	tb := workload.Random(edge, edge, 10, 3)
+	vec := tb.Linearize(table.Rect{R0: 0, C0: 0, Rows: edge, Cols: edge}, nil)
+
+	sk, err := NewSketcher(0.75, k, edge, edge, 99, EstimatorAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sk.SetWorkers(1).Sketch(vec, nil)
+	for _, w := range workerCounts() {
+		got := sk.SetWorkers(w).Sketch(vec, nil)
+		if !bitsEqual(ref, got) {
+			t.Errorf("Sketch with workers=%d differs from workers=1", w)
+		}
+	}
+}
+
+func TestAllPositionsDeterministicAcrossWorkers(t *testing.T) {
+	tb := workload.Random(48, 40, 5, 11)
+	const k = 8
+	sk, err := NewSketcher(1.25, k, 8, 8, 42, EstimatorAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sk.SetWorkers(1).AllPositions(tb)
+	for _, w := range workerCounts() {
+		got := sk.SetWorkers(w).AllPositions(tb)
+		if !bitsEqual(ref.data, got.data) {
+			t.Errorf("AllPositions with workers=%d differs from workers=1", w)
+		}
+	}
+}
+
+func TestPoolSketchDeterministicAcrossWorkers(t *testing.T) {
+	tb := workload.Random(32, 32, 7, 5)
+	opts := PoolOptions{MinLogRows: 1, MaxLogRows: 3, MinLogCols: 1, MaxLogCols: 3}
+	rects := []table.Rect{
+		{R0: 0, C0: 0, Rows: 4, Cols: 8},  // exact dyadic
+		{R0: 3, C0: 5, Rows: 7, Cols: 11}, // compound
+		{R0: 10, C0: 2, Rows: 13, Cols: 6},
+	}
+
+	o := opts
+	o.Workers = 1
+	refPool, err := NewPool(tb, 0.5, 16, 77, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		o := opts
+		o.Workers = w
+		pool, err := NewPool(tb, 0.5, 16, 77, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rect := range rects {
+			ref, err := refPool.Sketch(rect, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pool.Sketch(rect, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(ref, got) {
+				t.Errorf("Pool.Sketch(%v) with workers=%d differs from workers=1", rect, w)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fft"
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -25,7 +26,11 @@ type PlaneSet struct {
 }
 
 // AllPositions computes the PlaneSet of s over t using FFT
-// cross-correlation (Theorem 3, O(k·N·log N) total).
+// cross-correlation (Theorem 3, O(k·N·log N) total). The k correlations
+// are independent — one random matrix each — so they fan out over the
+// sketcher's workers (SetWorkers); matrix i writes only the stride-k
+// lane ps.data[pos*k+i], so the plane set is byte-identical at any
+// worker count.
 func (s *Sketcher) AllPositions(t *table.Table) *PlaneSet {
 	return s.allPositions(t, true)
 }
@@ -48,7 +53,7 @@ func (s *Sketcher) allPositions(t *table.Table, useFFT bool) *PlaneSet {
 	}
 	positions := ps.rows * ps.cols
 	ps.data = make([]float64, positions*s.k)
-	for i := 0; i < s.k; i++ {
+	parallel.For(s.workers, s.k, func(i int) {
 		var plane []float64
 		if useFFT {
 			plane = fft.CrossCorrelateValid(
@@ -57,11 +62,12 @@ func (s *Sketcher) allPositions(t *table.Table, useFFT bool) *PlaneSet {
 			plane = fft.CrossCorrelateValidNaive(
 				t.Data(), t.Rows(), t.Cols(), s.mats[i], s.rows, s.cols)
 		}
-		// Transpose into position-major storage.
+		// Transpose into position-major storage; lane i is touched by
+		// this iteration only.
 		for pos, v := range plane {
 			ps.data[pos*s.k+i] = v
 		}
-	}
+	})
 	return ps
 }
 

@@ -3,9 +3,8 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -52,6 +51,9 @@ func log2Floor(n int) int {
 // rectangles read a single precomputed sketch; all others assemble a
 // compound sketch from four overlapping dyadic sketches (Definition 4,
 // Theorem 5, a 4(1+ε)-approximation).
+//
+// A Pool is immutable once NewPool returns; all query methods (Sketch,
+// Distance, CanSketch, IsExact, ...) are safe for concurrent use.
 type Pool struct {
 	p          float64
 	k          int
@@ -97,53 +99,42 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 			}
 		}
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := parallel.Resolve(opts.Workers)
+	// When there are fewer jobs than workers, spread the surplus inside
+	// each job's AllPositions fan-out (over the k matrices) instead of
+	// leaving cores idle. Either split produces identical results.
+	innerWorkers := 1
 	if workers > len(jobs) {
-		workers = len(jobs)
+		innerWorkers = (workers + len(jobs) - 1) / len(jobs)
 	}
 
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	jobCh := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobCh {
-				// Distinct deterministic seed per (size, set): results do
-				// not depend on scheduling.
-				sk, err := NewSketcher(p, k, 1<<jb.i, 1<<jb.j,
-					poolSketcherSeed(seed, jb.i, jb.j, jb.s), opts.Estimator)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				ps := sk.AllPositions(t)
-				mu.Lock()
-				sets := pl.entries[[2]int{jb.i, jb.j}]
-				sets[jb.s] = ps
-				pl.entries[[2]int{jb.i, jb.j}] = sets
-				mu.Unlock()
-			}
-		}()
+	// Each job writes only its own slot: results are position-addressed,
+	// not scheduling-addressed, so construction is deterministic at any
+	// worker count.
+	results := make([]*PlaneSet, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel.For(workers, len(jobs), func(n int) {
+		jb := jobs[n]
+		// Distinct deterministic seed per (size, set): results do not
+		// depend on scheduling.
+		sk, err := NewSketcher(p, k, 1<<jb.i, 1<<jb.j,
+			poolSketcherSeed(seed, jb.i, jb.j, jb.s), opts.Estimator)
+		if err != nil {
+			errs[n] = err
+			return
+		}
+		sk.SetWorkers(innerWorkers)
+		results[n] = sk.AllPositions(t)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	for _, jb := range jobs {
-		jobCh <- jb
-	}
-	close(jobCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for n, jb := range jobs {
+		sets := pl.entries[[2]int{jb.i, jb.j}]
+		sets[jb.s] = results[n]
+		pl.entries[[2]int{jb.i, jb.j}] = sets
 	}
 	return pl, nil
 }

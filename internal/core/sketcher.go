@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/quantile"
 	"repro/internal/stable"
 )
@@ -30,11 +32,20 @@ const (
 // random rows×cols matrices with i.i.d. symmetric p-stable entries,
 // generated deterministically from a seed so that sketches from different
 // Sketcher instances with equal (p, k, dims, seed) are comparable.
+//
+// Concurrency: all methods except SetWorkers are safe for concurrent use
+// once construction returns — the matrices are immutable and the heavy
+// entry points (Sketch, AllPositions) fan out internally over the k
+// independent random matrices, writing each matrix's result to a disjoint
+// pre-allocated slot. That disjoint-write discipline makes every result
+// byte-identical at any worker count (the determinism tests assert this),
+// so the Workers knob is purely a throughput control.
 type Sketcher struct {
 	p          float64
 	k          int
 	rows, cols int
 	seed       uint64
+	workers    int         // 0 = GOMAXPROCS; see SetWorkers
 	mats       [][]float64 // k matrices, row-major rows*cols each
 	scale      float64     // B(p) = median |stable|
 	estimator  Estimator
@@ -101,13 +112,39 @@ func (s *Sketcher) Seed() uint64 { return s.seed }
 // EstimatorKind returns the resolved estimator (never EstimatorAuto).
 func (s *Sketcher) EstimatorKind() Estimator { return s.estimator }
 
+// SetWorkers bounds the goroutines Sketch and AllPositions fan out over
+// the k random matrices. 0 (the default) means runtime.GOMAXPROCS(0);
+// 1 forces serial execution. Results are byte-identical at any setting —
+// each matrix's output lands in its own pre-allocated slot, so there is
+// no reduction-order dependence. SetWorkers returns s for chaining; call
+// it before sharing the Sketcher across goroutines (it is the one
+// mutating method).
+func (s *Sketcher) SetWorkers(n int) *Sketcher {
+	s.workers = n
+	return s
+}
+
+// Workers returns the effective worker count used by Sketch and
+// AllPositions (the SetWorkers value with 0 resolved to GOMAXPROCS).
+func (s *Sketcher) Workers() int { return parallel.Resolve(s.workers) }
+
 // Matrix returns the i-th random matrix (row-major, rows*cols), exposed so
 // the plane computation can correlate it against a full table.
 func (s *Sketcher) Matrix(i int) []float64 { return s.mats[i] }
 
+// sketchParallelMinFlops is the amount of multiply-add work below which
+// Sketch stays on the calling goroutine: fanning out costs a few µs of
+// goroutine start-up, which only pays for itself on larger tiles×k. The
+// threshold affects scheduling only, never results (entry i is the same
+// dot product either way).
+const sketchParallelMinFlops = 1 << 15
+
 // Sketch computes the k dot products of the linearized tile with the
-// random matrices. vec must have length rows*cols. dst is reused when it
-// has capacity k; the sketch is returned.
+// random matrices, fanning out over the matrices when the work exceeds
+// sketchParallelMinFlops (see SetWorkers). vec must have length
+// rows*cols. dst is reused when it has capacity k; the sketch is
+// returned. Entry i depends only on matrix i and vec, so the output is
+// identical at every worker count.
 func (s *Sketcher) Sketch(vec []float64, dst []float64) []float64 {
 	if len(vec) != s.rows*s.cols {
 		panic(fmt.Sprintf("core: Sketch input length %d != %d*%d", len(vec), s.rows, s.cols))
@@ -116,13 +153,20 @@ func (s *Sketcher) Sketch(vec []float64, dst []float64) []float64 {
 		dst = make([]float64, s.k)
 	}
 	dst = dst[:s.k]
-	for i, m := range s.mats {
-		var dot float64
-		for j, v := range vec {
-			dot += v * m[j]
-		}
-		dst[i] = dot
+	workers := s.workers
+	if s.k*len(vec) < sketchParallelMinFlops {
+		workers = 1
 	}
+	parallel.Blocks(workers, s.k, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			m := s.mats[i]
+			var dot float64
+			for j, v := range vec {
+				dot += v * m[j]
+			}
+			dst[i] = dot
+		}
+	})
 	return dst
 }
 
@@ -157,4 +201,24 @@ func (s *Sketcher) DistanceScratch(a, b, scratch []float64) float64 {
 func (s *Sketcher) NormFromSketch(a []float64) float64 {
 	zero := make([]float64, s.k)
 	return s.DistanceScratch(a, zero, make([]float64, s.k))
+}
+
+// ConcurrentDist returns a distance function equivalent to Distance that
+// is safe for concurrent use: scratch buffers come from a sync.Pool, so
+// parallel clustering (cluster.Config.Workers > 1) can call it from many
+// goroutines without the shared-scratch race of the obvious
+// DistanceScratch closure, while the hot path stays allocation-free.
+// The returned function is pure in its inputs, so parallel callers get
+// the same values serial callers would.
+func (s *Sketcher) ConcurrentDist() func(a, b []float64) float64 {
+	pool := &sync.Pool{New: func() any {
+		buf := make([]float64, s.k)
+		return &buf
+	}}
+	return func(a, b []float64) float64 {
+		buf := pool.Get().(*[]float64)
+		d := s.DistanceScratch(a, b, *buf)
+		pool.Put(buf)
+		return d
+	}
 }

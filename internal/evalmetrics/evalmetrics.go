@@ -10,7 +10,22 @@ import (
 	"math"
 
 	"repro/internal/assign"
+	"repro/internal/parallel"
 )
+
+// evalParallelMin is the experiment count above which the pairwise
+// metrics fan out over GOMAXPROCS workers; below it the fan-out costs
+// more than the loop. Results never depend on the choice: parallel.Sum
+// reduces in fixed-size blocks whose order is worker-count-independent,
+// and parallel.Count is integer arithmetic.
+const evalParallelMin = 4096
+
+func evalWorkers(n int) int {
+	if n < evalParallelMin {
+		return 1
+	}
+	return parallel.Resolve(0)
+}
 
 // Cumulative is Definition 7: Σ estimated / Σ exact over a set of
 // experiments — "in the long run, how accurate the sketches are".
@@ -19,11 +34,9 @@ func Cumulative(est, exact []float64) (float64, error) {
 	if err := checkPair(est, exact); err != nil {
 		return 0, err
 	}
-	var se, sx float64
-	for i := range est {
-		se += est[i]
-		sx += exact[i]
-	}
+	w := evalWorkers(len(est))
+	se := parallel.Sum(w, len(est), func(i int) float64 { return est[i] })
+	sx := parallel.Sum(w, len(exact), func(i int) float64 { return exact[i] })
 	if sx == 0 {
 		return 0, fmt.Errorf("evalmetrics: exact distances sum to zero")
 	}
@@ -38,13 +51,19 @@ func Average(est, exact []float64) (float64, error) {
 	if err := checkPair(est, exact); err != nil {
 		return 0, err
 	}
-	var sum float64
-	for i := range est {
-		if exact[i] == 0 {
-			return 0, fmt.Errorf("evalmetrics: exact distance zero at experiment %d", i)
+	w := evalWorkers(len(est))
+	// Reject zero exact distances up front so the parallel reduction
+	// below never divides by zero; the scan is cheap relative to it.
+	if parallel.Count(w, len(exact), func(i int) bool { return exact[i] == 0 }) > 0 {
+		for i := range exact {
+			if exact[i] == 0 {
+				return 0, fmt.Errorf("evalmetrics: exact distance zero at experiment %d", i)
+			}
 		}
-		sum += math.Abs(1 - est[i]/exact[i])
 	}
+	sum := parallel.Sum(w, len(est), func(i int) float64 {
+		return math.Abs(1 - est[i]/exact[i])
+	})
 	return 1 - sum/float64(len(est)), nil
 }
 
@@ -73,12 +92,10 @@ func Pairwise(triples []Triple) (float64, error) {
 	if len(triples) == 0 {
 		return 0, fmt.Errorf("evalmetrics: no triples")
 	}
-	correct := 0
-	for _, tr := range triples {
-		if (tr.ExactXY < tr.ExactXZ) == (tr.EstXY < tr.EstXZ) {
-			correct++
-		}
-	}
+	correct := parallel.Count(evalWorkers(len(triples)), len(triples), func(i int) bool {
+		tr := triples[i]
+		return (tr.ExactXY < tr.ExactXZ) == (tr.EstXY < tr.EstXZ)
+	})
 	return float64(correct) / float64(len(triples)), nil
 }
 

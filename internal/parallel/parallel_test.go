@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestBlocksCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 63, 64, 65, 1000} {
+			hits := make([]int32, n)
+			Blocks(workers, n, func(lo, hi, block int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad block [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksBlockIndexesAreDense(t *testing.T) {
+	const workers, n = 5, 23
+	nb := NumBlocks(workers, n)
+	seen := make([]int32, nb)
+	Blocks(workers, n, func(lo, hi, block int) {
+		if block < 0 || block >= nb {
+			t.Errorf("block %d outside [0,%d)", block, nb)
+			return
+		}
+		atomic.AddInt32(&seen[block], 1)
+	})
+	for b, c := range seen {
+		if c != 1 {
+			t.Errorf("block %d invoked %d times", b, c)
+		}
+	}
+}
+
+func TestForWritesDisjointSlots(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 2, 8} {
+		out := make([]int, n)
+		For(workers, n, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestSumWorkerInvariance is the package's core promise: the FP sum is
+// bit-identical at every worker count.
+func TestSumWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 100, sumBlock, sumBlock + 1, 3*sumBlock + 17} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * math.Exp(rng.Float64()*20 - 10)
+		}
+		ref := Sum(1, n, func(i int) float64 { return vals[i] })
+		for _, workers := range []int{2, 3, 8, runtime.GOMAXPROCS(0)} {
+			got := Sum(workers, n, func(i int) float64 { return vals[i] })
+			if math.Float64bits(got) != math.Float64bits(ref) {
+				t.Errorf("n=%d workers=%d: Sum = %x, want %x (bit-exact)",
+					n, workers, math.Float64bits(got), math.Float64bits(ref))
+			}
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	const n = 10_000
+	for _, workers := range []int{1, 2, 16} {
+		got := Count(workers, n, func(i int) bool { return i%3 == 0 })
+		want := (n + 2) / 3
+		if got != want {
+			t.Errorf("workers=%d: Count = %d, want %d", workers, got, want)
+		}
+	}
+	if got := Count(4, 0, func(int) bool { return true }); got != 0 {
+		t.Errorf("Count over empty range = %d", got)
+	}
+}

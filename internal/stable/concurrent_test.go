@@ -1,0 +1,44 @@
+package stable
+
+// Parallel pool construction builds many Sketchers concurrently, and each
+// construction reads MedianAbs(p) — so the median table (exact map +
+// mutex-guarded cache) and the Fourier-inversion path behind it must be
+// safe under concurrent first-touch of the same alpha. Meaningful under
+// `go test -race` (see `make race`).
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMedianAbsConcurrentFirstTouch(t *testing.T) {
+	// A mix of exact-table hits, analytic-path indices and a Monte-Carlo
+	// fallback index (< 0.3), queried from many goroutines at once.
+	alphas := []float64{0.27, 0.5, 0.8, 1, 1.25, 1.7, 2}
+	const goroutines = 8
+
+	results := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]float64, len(alphas))
+			for i, a := range alphas {
+				out[i] = MedianAbs(a)
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range alphas {
+			if math.Float64bits(results[g][i]) != math.Float64bits(results[0][i]) {
+				t.Errorf("goroutine %d: MedianAbs(%v) = %v, goroutine 0 got %v",
+					g, alphas[i], results[g][i], results[0][i])
+			}
+		}
+	}
+}

@@ -37,6 +37,27 @@
 //	res, _ := tabmine.KMeans(points, sk.Distance, tabmine.KMeansConfig{K: 20, Seed: 1})
 //	_ = res.Assign // tile -> cluster
 //
+// # Concurrency
+//
+// The hot paths fan out over a shared worker-pool layer with a strict
+// determinism contract: per-matrix and per-point results are written to
+// disjoint pre-allocated slots, never combined by a scheduling-dependent
+// reduction, so the same seed yields byte-identical sketches and cluster
+// assignments at ANY worker count. The knobs:
+//
+//   - Sketcher.SetWorkers bounds the fan-out of Sketch and AllPositions
+//     over the k random matrices (0, the default, means all cores).
+//   - PoolOptions.Workers bounds dyadic plane-set construction.
+//   - KMeansConfig.Workers parallelizes the assignment step of KMeans and
+//     KMedoids; it defaults to 0 = serial because the dist callback must
+//     be safe for concurrent use before fanning out — use
+//     Sketcher.ConcurrentDist (reentrant, allocation-free) or any pure
+//     function such as P.Dist, and set Workers < 0 for all cores.
+//
+// Sketcher (after SetWorkers), Pool, PlaneSet, HashSketcher and the
+// evaluation helpers are safe for concurrent use. Cache and TileSketchSet
+// mutate internal state on use and are single-goroutine only.
+//
 // See the examples/ directory for complete programs and DESIGN.md for how
 // each component maps onto the paper.
 package tabmine
@@ -48,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evalmetrics"
 	"repro/internal/lpnorm"
+	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/stable"
 	"repro/internal/tabfile"
@@ -56,6 +78,12 @@ import (
 	"repro/internal/vizascii"
 	"repro/internal/workload"
 )
+
+// DefaultWorkers returns the worker count a Workers knob of 0 resolves to
+// — runtime.GOMAXPROCS(0). Every concurrent path in the library accepts a
+// Workers setting with this default and produces byte-identical results
+// at any value (see the package-level Concurrency section).
+func DefaultWorkers() int { return parallel.Resolve(0) }
 
 // Table is a dense rows×cols table of float64 values.
 type Table = table.Table
@@ -144,7 +172,10 @@ type Pool = core.Pool
 // PoolOptions configures the dyadic size range of a Pool.
 type PoolOptions = core.PoolOptions
 
-// Cache memoizes sketches computed on demand.
+// Cache memoizes sketches computed on demand. It mutates internal state
+// on every query and is documented single-goroutine: do not share one
+// Cache across goroutines (unlike Sketcher, Pool and PlaneSet, which are
+// safe for concurrent use).
 type Cache = core.Cache
 
 // NewSketcher builds a Sketcher for p ∈ (0,2] with k entries over
@@ -167,6 +198,15 @@ func NewCache(t *Table, sk *Sketcher) *Cache { return core.NewCache(t, sk) }
 // KForAccuracy sizes a sketch for a (1±eps) guarantee at confidence
 // 1-delta.
 func KForAccuracy(eps, delta float64) (int, error) { return core.KForAccuracy(eps, delta) }
+
+// KForAccuracyAtP sizes a sketch for a (1±eps) guarantee at confidence
+// 1-delta with the exact p-dependent constant (computed from the stable
+// law's CDF; p ≥ 0.3). Prefer this over KForAccuracy for fractional p —
+// the generic constant undersizes heavy-tailed sketches by an order of
+// magnitude at p = 0.5.
+func KForAccuracyAtP(p, eps, delta float64) (int, error) {
+	return core.KForAccuracyAtP(p, eps, delta)
+}
 
 // StableDist samples symmetric α-stable distributions (the randomness
 // behind sketches), exported for reuse in custom estimators.
