@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench fuzz vet all
+.PHONY: build test race bench bench-json fuzz vet all
 
 all: build test
 
@@ -29,10 +29,16 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' -cpu 1,4,8 .
 
+# Machine-readable before/after report for the frequency-domain engine
+# (pool construction, AllPositions, CrossCorrelate — old vs planned).
+bench-json:
+	$(GO) run ./cmd/tabmine-bench -out BENCH_2.json
+
 # Short fuzzing pass over every fuzz target (each target needs its own
 # invocation; the seed corpora also run under plain `make test`).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPoolSketchRect -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzPlanCorrelateAgainstNaive -fuzztime=$(FUZZTIME) ./internal/fft
 	$(GO) test -run='^$$' -fuzz=FuzzSelectAgainstSort -fuzztime=$(FUZZTIME) ./internal/quantile
 	$(GO) test -run='^$$' -fuzz=FuzzMedianAndQuantileAgainstSort -fuzztime=$(FUZZTIME) ./internal/quantile
 	$(GO) test -run='^$$' -fuzz=FuzzRead$$ -fuzztime=$(FUZZTIME) ./internal/tabfile

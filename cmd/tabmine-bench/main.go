@@ -1,0 +1,180 @@
+// Command tabmine-bench runs the PR's before/after microbenchmarks with
+// the testing package's programmatic harness and emits a machine-readable
+// JSON report (pool construction, all-positions preprocessing, and the
+// raw cross-correlation primitive, each old-vs-planned).
+//
+//	tabmine-bench -out BENCH_2.json
+//
+// The report is the artifact behind the numbers quoted in EXPERIMENTS.md;
+// `make bench-json` regenerates it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/workload"
+)
+
+// result is one benchmark row. Correlations is how many valid-region
+// cross-correlations one op performs, so NsPerCorrelation and
+// AllocsPerCorrelation are comparable across rows that batch differently
+// (a packed pair does two per op; an AllPositions op does k).
+type result struct {
+	Name                 string  `json:"name"`
+	Iterations           int     `json:"iterations"`
+	NsPerOp              int64   `json:"ns_per_op"`
+	BytesPerOp           int64   `json:"bytes_per_op"`
+	AllocsPerOp          int64   `json:"allocs_per_op"`
+	Correlations         int     `json:"correlations_per_op"`
+	NsPerCorrelation     float64 `json:"ns_per_correlation"`
+	AllocsPerCorrelation float64 `json:"allocs_per_correlation"`
+}
+
+type report struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []result           `json:"results"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func run(name string, correlations int, fn func(b *testing.B)) result {
+	fmt.Fprintf(os.Stderr, "running %-28s ", name+"...")
+	r := testing.Benchmark(fn)
+	row := result{
+		Name:         name,
+		Iterations:   r.N,
+		NsPerOp:      r.NsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		Correlations: correlations,
+	}
+	row.NsPerCorrelation = float64(row.NsPerOp) / float64(correlations)
+	row.AllocsPerCorrelation = float64(row.AllocsPerOp) / float64(correlations)
+	fmt.Fprintf(os.Stderr, "%12d ns/op %10d B/op %6d allocs/op (n=%d)\n",
+		row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, r.N)
+	return row
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   map[string]float64{},
+	}
+
+	// --- CrossCorrelate: the raw primitive, 128x128 table, 16x16 kernel.
+	rng := rand.New(rand.NewPCG(6, 6))
+	const n, m, ka, kb = 128, 128, 16, 16
+	data := make([]float64, n*m)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	kernA := make([]float64, ka*kb)
+	kernB := make([]float64, ka*kb)
+	for i := range kernA {
+		kernA[i], kernB[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	ccOld := run("cross_correlate/unplanned", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fft.CrossCorrelateValidUnplanned(data, n, m, kernA, ka, kb)
+		}
+	})
+	plan := fft.NewPlan2D(data, n, m)
+	or, oc := plan.OutDims(ka, kb)
+	dstA := make([]float64, or*oc)
+	dstB := make([]float64, or*oc)
+	ccNew := run("cross_correlate/planned", 2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.CorrelatePairValid(kernA, kernB, ka, kb, dstA, 1, dstB, 1)
+		}
+	})
+	rep.Results = append(rep.Results, ccOld, ccNew)
+	rep.Speedups["cross_correlate"] = ccOld.NsPerCorrelation / ccNew.NsPerCorrelation
+
+	// --- AllPositions: Theorem 3 preprocessing, k=32 matrices.
+	tb := workload.Random(128, 128, 1, 17)
+	const k, edge = 32, 16
+	sk, err := core.NewSketcher(1, k, edge, edge, 7, core.EstimatorAuto)
+	fatal(err)
+	apOld := run("all_positions/unplanned", k, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sk.AllPositionsUnplanned(tb)
+		}
+	})
+	apNew := run("all_positions/planned", k, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = sk.AllPositions(tb)
+		}
+	})
+	rep.Results = append(rep.Results, apOld, apNew)
+	rep.Speedups["all_positions"] = apOld.NsPerCorrelation / apNew.NsPerCorrelation
+
+	// --- NewPool: Theorem 6 preprocessing over a 4x4 grid of dyadic
+	// sizes, 4 subpools each, k=16 — 64 plane-set jobs, 1024 correlations.
+	poolTb := workload.Random(64, 64, 1, 11)
+	const poolK = 16
+	opts := core.PoolOptions{
+		MinLogRows: 1, MaxLogRows: 4, MinLogCols: 1, MaxLogCols: 4,
+		Workers: 1,
+	}
+	jobs := (opts.MaxLogRows - opts.MinLogRows + 1) * (opts.MaxLogCols - opts.MinLogCols + 1) * 4
+	npOld := run("new_pool/unplanned", jobs*poolK, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The seed behaviour over the identical job grid: every job
+			// re-transforms the table for each of its k matrices.
+			for li := opts.MinLogRows; li <= opts.MaxLogRows; li++ {
+				for lj := opts.MinLogCols; lj <= opts.MaxLogCols; lj++ {
+					for s := 0; s < 4; s++ {
+						jsk, err := core.NewSketcher(1, poolK, 1<<li, 1<<lj, 7, core.EstimatorAuto)
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = jsk.AllPositionsUnplanned(poolTb)
+					}
+				}
+			}
+		}
+	})
+	npNew := run("new_pool/planned", jobs*poolK, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewPool(poolTb, 1, poolK, 7, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, npOld, npNew)
+	rep.Speedups["new_pool"] = npOld.NsPerCorrelation / npNew.NsPerCorrelation
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	buf = append(buf, '\n')
+	fatal(os.WriteFile(*out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	for name, s := range rep.Speedups {
+		fmt.Printf("%-18s %.2fx per-correlation speedup\n", name, s)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fft"
 	"repro/internal/lpnorm"
 	"repro/internal/tabfile"
 	"repro/internal/table"
@@ -46,6 +47,7 @@ func parseRect(s string) (table.Rect, error) {
 func main() {
 	var (
 		in       = flag.String("in", "", "input table file (required)")
+		fftStats = flag.Bool("fft-stats", false, "report forward table spectra computed (shared-spectrum engine diagnostics)")
 		p        = flag.Float64("p", 1, "Lp exponent in (0, 2]")
 		k        = flag.Int("k", 256, "sketch entries")
 		rectA    = flag.String("a", "", "first rectangle as row,col,height,width (required)")
@@ -80,6 +82,7 @@ func main() {
 
 	lp, err := lpnorm.NewP(*p)
 	fatal(err)
+	spectraBefore := fft.TableSpectrumCount()
 	t0 := time.Now()
 	exact := lp.Dist(tb.Linearize(a, nil), tb.Linearize(b, nil))
 	exactTime := time.Since(t0)
@@ -150,6 +153,12 @@ func main() {
 	fmt.Printf("  sketched: %12.4f  (prep %v, query %v, k=%d)\n", est, prepTime, queryTime, *k)
 	if exact > 0 {
 		fmt.Printf("  ratio   : %12.4f\n", est/exact)
+	}
+	if *fftStats {
+		// The shared-spectrum engine computes one forward table FFT per
+		// table regardless of how many dyadic sizes the pool covers.
+		fmt.Printf("  spectra : %d forward table FFT(s) computed\n",
+			fft.TableSpectrumCount()-spectraBefore)
 	}
 }
 

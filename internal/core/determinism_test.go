@@ -69,6 +69,64 @@ func TestAllPositionsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestAllPositionsPlanDeterministic pins the shared-spectrum engine's
+// half of the contract: one TablePlan used at any worker count — and by
+// several AllPositionsPlan calls concurrently with each other in the
+// parallel pool path — must yield the same bytes as a private per-call
+// plan at workers=1. k is odd so the unpaired trailing kernel of the
+// packed-pair scheme is exercised.
+func TestAllPositionsPlanDeterministic(t *testing.T) {
+	tb := workload.Random(40, 36, 6, 13)
+	const k = 7
+	sk, err := NewSketcher(0.8, k, 8, 4, 63, EstimatorAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sk.SetWorkers(1).AllPositions(tb) // private plan, serial
+	tp := NewTablePlan(tb)
+	for _, w := range workerCounts() {
+		shared := sk.SetWorkers(w).AllPositionsPlan(tp)
+		if !bitsEqual(ref.data, shared.data) {
+			t.Errorf("shared-plan AllPositions with workers=%d differs from private-plan workers=1", w)
+		}
+		private := sk.SetWorkers(w).AllPositions(tb)
+		if !bitsEqual(ref.data, private.data) {
+			t.Errorf("private-plan AllPositions with workers=%d differs from workers=1", w)
+		}
+	}
+}
+
+// TestNewPoolPlaneDataDeterministicAcrossWorkers compares every float of
+// every plane set (not just sampled sketches): the shared table spectrum
+// is read-only and each packed pair writes its own lanes, so pool
+// construction must be byte-identical at any worker count.
+func TestNewPoolPlaneDataDeterministicAcrossWorkers(t *testing.T) {
+	tb := workload.Random(32, 32, 7, 5)
+	opts := PoolOptions{MinLogRows: 1, MaxLogRows: 3, MinLogCols: 1, MaxLogCols: 3}
+	o := opts
+	o.Workers = 1
+	ref, err := NewPool(tb, 0.5, 9, 77, o) // odd k: unpaired trailing kernel
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		o := opts
+		o.Workers = w
+		pool, err := NewPool(tb, 0.5, 9, 77, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, sets := range ref.entries {
+			got := pool.entries[key]
+			for s := range sets {
+				if !bitsEqual(sets[s].data, got[s].data) {
+					t.Errorf("size %v set %d: plane data with workers=%d differs from workers=1", key, s, w)
+				}
+			}
+		}
+	}
+}
+
 func TestPoolSketchDeterministicAcrossWorkers(t *testing.T) {
 	tb := workload.Random(32, 32, 7, 5)
 	opts := PoolOptions{MinLogRows: 1, MaxLogRows: 3, MinLogCols: 1, MaxLogCols: 3}

@@ -25,23 +25,76 @@ type PlaneSet struct {
 	data       []float64 // data[(r*cols+c)*k + i]
 }
 
-// AllPositions computes the PlaneSet of s over t using FFT
-// cross-correlation (Theorem 3, O(k·N·log N) total). The k correlations
-// are independent — one random matrix each — so they fan out over the
-// sketcher's workers (SetWorkers); matrix i writes only the stride-k
-// lane ps.data[pos*k+i], so the plane set is byte-identical at any
-// worker count.
+// TablePlan is the frequency-domain correlation plan of one table: its
+// padded forward 2D spectrum, computed once and shared read-only by every
+// sketcher that builds plane sets over the table. Build one with
+// NewTablePlan when several plane sets cover the same table (a dyadic
+// pool, an interval pool, a multi-size experiment sweep) so the
+// table-side FFT — half the transform work of a correlation — is paid a
+// single time. Safe for concurrent use.
+type TablePlan struct {
+	t    *table.Table
+	plan *fft.Plan2D
+}
+
+// NewTablePlan computes the shared correlation plan of t (one forward
+// table FFT at the padded power-of-two size).
+func NewTablePlan(t *table.Table) *TablePlan {
+	return &TablePlan{t: t, plan: fft.NewPlan2D(t.Data(), t.Rows(), t.Cols())}
+}
+
+// Table returns the table the plan was built over.
+func (tp *TablePlan) Table() *table.Table { return tp.t }
+
+// AllPositions computes the PlaneSet of s over t using planned FFT
+// cross-correlation (Theorem 3, O(k·N·log N) total). It builds a private
+// TablePlan; callers computing several plane sets over the same table
+// should build one TablePlan and use AllPositionsPlan so the table
+// spectrum is shared.
 func (s *Sketcher) AllPositions(t *table.Table) *PlaneSet {
-	return s.allPositions(t, true)
+	return s.AllPositionsPlan(NewTablePlan(t))
+}
+
+// AllPositionsPlan computes the PlaneSet of s over the planned table. The
+// k correlations ride the packed-pair engine — random matrices (2i, 2i+1)
+// share one complex FFT round trip — and fan out over the sketcher's
+// workers (SetWorkers) by pair. Pair i writes only the stride-k lanes
+// ps.data[pos*k+2i] and ps.data[pos*k+2i+1] (written through directly by
+// the correlation, no intermediate plane copy), so the plane set is
+// byte-identical at any worker count.
+func (s *Sketcher) AllPositionsPlan(tp *TablePlan) *PlaneSet {
+	t := tp.t
+	ps := s.newPlaneSet(t)
+	pairs := (s.k + 1) / 2
+	parallel.For(s.workers, pairs, func(pi int) {
+		i := 2 * pi
+		var kernB, dstB []float64
+		if i+1 < s.k {
+			kernB = s.mats[i+1]
+			dstB = ps.data[i+1:]
+		}
+		tp.plan.CorrelatePairValid(s.mats[i], kernB, s.rows, s.cols,
+			ps.data[i:], s.k, dstB, s.k)
+	})
+	return ps
 }
 
 // AllPositionsNaive is the O(k·N·M) direct-computation baseline, kept for
 // verification and for the Theorem 3 crossover benchmark.
 func (s *Sketcher) AllPositionsNaive(t *table.Table) *PlaneSet {
-	return s.allPositions(t, false)
+	return s.allPositionsPerMatrix(t, false)
 }
 
-func (s *Sketcher) allPositions(t *table.Table, useFFT bool) *PlaneSet {
+// AllPositionsUnplanned is the pre-plan FFT path — a fresh pair of padded
+// transforms per matrix and a transposing copy into position-major
+// storage. Kept as the benchmark baseline the planned engine is measured
+// against (BENCH_2.json) and as a second FFT implementation for
+// cross-checks.
+func (s *Sketcher) AllPositionsUnplanned(t *table.Table) *PlaneSet {
+	return s.allPositionsPerMatrix(t, true)
+}
+
+func (s *Sketcher) newPlaneSet(t *table.Table) *PlaneSet {
 	if s.rows > t.Rows() || s.cols > t.Cols() {
 		panic(fmt.Sprintf("core: tile %dx%d larger than table %dx%d",
 			s.rows, s.cols, t.Rows(), t.Cols()))
@@ -51,12 +104,16 @@ func (s *Sketcher) allPositions(t *table.Table, useFFT bool) *PlaneSet {
 		rows: t.Rows() - s.rows + 1,
 		cols: t.Cols() - s.cols + 1,
 	}
-	positions := ps.rows * ps.cols
-	ps.data = make([]float64, positions*s.k)
+	ps.data = make([]float64, ps.rows*ps.cols*s.k)
+	return ps
+}
+
+func (s *Sketcher) allPositionsPerMatrix(t *table.Table, useFFT bool) *PlaneSet {
+	ps := s.newPlaneSet(t)
 	parallel.For(s.workers, s.k, func(i int) {
 		var plane []float64
 		if useFFT {
-			plane = fft.CrossCorrelateValid(
+			plane = fft.CrossCorrelateValidUnplanned(
 				t.Data(), t.Rows(), t.Cols(), s.mats[i], s.rows, s.cols)
 		} else {
 			plane = fft.CrossCorrelateValidNaive(

@@ -47,6 +47,28 @@ func TestAllPositionsFFTMatchesNaive(t *testing.T) {
 	}
 }
 
+// The planned engine (shared spectrum + packed pairs + write-through)
+// and the unplanned seed path (fresh transforms per matrix, transposing
+// copy) are independent implementations of the same correlation; they
+// must agree to FFT rounding on every lane, including the unpaired
+// trailing matrix of an odd k.
+func TestAllPositionsMatchesUnplanned(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	tb := randTable(rng, 21, 19)
+	sk, _ := NewSketcher(1.25, 7, 5, 3, 29, EstimatorAuto)
+	planned := sk.AllPositions(tb)
+	unplanned := sk.AllPositionsUnplanned(tb)
+	if len(planned.data) != len(unplanned.data) {
+		t.Fatalf("data lengths differ: %d vs %d", len(planned.data), len(unplanned.data))
+	}
+	for i := range planned.data {
+		if math.Abs(planned.data[i]-unplanned.data[i]) > 1e-6*(1+math.Abs(unplanned.data[i])) {
+			t.Fatalf("lane value %d: planned %v vs unplanned %v",
+				i, planned.data[i], unplanned.data[i])
+		}
+	}
+}
+
 func TestPlaneSketchMatchesDirectSketch(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	tb := randTable(rng, 12, 12)

@@ -108,6 +108,13 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 		innerWorkers = (workers + len(jobs) - 1) / len(jobs)
 	}
 
+	// One shared correlation plan: the padded transform size depends only
+	// on the table, so every (size × set × matrix) job correlates against
+	// the same forward table spectrum, computed exactly once here. The
+	// spectrum is read-only and the plan's scratch is pooled, so sharing
+	// it across concurrent jobs is free of coordination.
+	tp := NewTablePlan(t)
+
 	// Each job writes only its own slot: results are position-addressed,
 	// not scheduling-addressed, so construction is deterministic at any
 	// worker count.
@@ -124,7 +131,7 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 			return
 		}
 		sk.SetWorkers(innerWorkers)
-		results[n] = sk.AllPositions(t)
+		results[n] = sk.AllPositionsPlan(tp)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/fft"
 	"repro/internal/lpnorm"
 	"repro/internal/table"
 )
@@ -35,6 +36,28 @@ func TestNewPoolValidation(t *testing.T) {
 	}
 	if _, err := NewPool(tb, 7, 4, 1, PoolOptions{MinLogRows: 1, MaxLogRows: 2, MinLogCols: 1, MaxLogCols: 2}); err == nil {
 		t.Error("bad p: expected error")
+	}
+}
+
+// TestNewPoolComputesOneTableSpectrum is the shared-spectrum engine's
+// headline invariant: the padded transform size depends only on the
+// table, so pool construction performs exactly ONE forward table FFT no
+// matter how many (dyadic size × subpool × matrix) correlation jobs run.
+// The seed path paid this transform numSizes × compoundSets × k times.
+func TestNewPoolComputesOneTableSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	tb := randTable(rng, 32, 32)
+	for _, workers := range []int{1, 0} {
+		before := fft.TableSpectrumCount()
+		if _, err := NewPool(tb, 1, 8, 5, PoolOptions{
+			MinLogRows: 1, MaxLogRows: 4, MinLogCols: 1, MaxLogCols: 4,
+			Workers: workers,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if d := fft.TableSpectrumCount() - before; d != 1 {
+			t.Errorf("workers=%d: NewPool computed %d forward table spectra, want exactly 1", workers, d)
+		}
 	}
 }
 

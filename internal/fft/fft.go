@@ -132,24 +132,104 @@ func FFT2D(m *CMatrix) { transform2D(m, false) }
 func IFFT2D(m *CMatrix) { transform2D(m, true) }
 
 func transform2D(m *CMatrix, inverse bool) {
+	transform2DPartial(m, inverse, m.Rows)
+}
+
+// transform2DPartial is transform2D that runs row transforms only on the
+// first nonzeroRows rows. Callers must guarantee every later row is
+// all-zero (their transform is the zero row, so skipping it is exact) —
+// this is how kernel transforms avoid paying for the padding rows.
+func transform2DPartial(m *CMatrix, inverse bool, nonzeroRows int) {
 	if !IsPow2(m.Rows) || !IsPow2(m.Cols) {
 		panic(fmt.Sprintf("fft: 2D dims %dx%d not powers of two", m.Rows, m.Cols))
+	}
+	if nonzeroRows < 0 || nonzeroRows > m.Rows {
+		panic(fmt.Sprintf("fft: nonzeroRows %d outside [0, %d]", nonzeroRows, m.Rows))
 	}
 	run := FFT
 	if inverse {
 		run = IFFT
+		nonzeroRows = m.Rows // inverse inputs are dense spectra
 	}
-	for r := 0; r < m.Rows; r++ {
+	for r := 0; r < nonzeroRows; r++ {
 		run(m.Row(r))
 	}
-	col := make([]complex128, m.Rows)
-	for c := 0; c < m.Cols; c++ {
-		for r := 0; r < m.Rows; r++ {
-			col[r] = m.Data[r*m.Cols+c]
+	transformColumns(m, inverse)
+}
+
+// colBlockElems bounds the column-block working set of transformColumns:
+// rows × block complex128s are kept hot across all butterfly stages, so
+// the slab should fit comfortably in L2 (2^14 elements = 256 KiB).
+const colBlockElems = 1 << 14
+
+// transformColumns runs the column-dimension FFTs of a 2D transform. The
+// seed implementation gathered one column at a time into a scratch vector
+// — a fully strided pass repeated Cols times. Here the butterflies operate
+// on row segments directly (contiguous memory), cache-blocked over groups
+// of columns so a full rows×block slab stays resident across every stage.
+// Each column sees exactly the same butterfly order, twiddles and final
+// scaling as a 1D transform, so results are bit-identical to the
+// column-at-a-time formulation.
+func transformColumns(m *CMatrix, inverse bool) {
+	n, w := m.Rows, m.Cols
+	if n == 1 {
+		return
+	}
+	bitReverseRows(m)
+	tab := twiddleTable(n)
+	block := colBlockElems / n
+	if block < 4 {
+		block = 4
+	}
+	for c0 := 0; c0 < w; c0 += block {
+		c1 := c0 + block
+		if c1 > w {
+			c1 = w
 		}
-		run(col)
-		for r := 0; r < m.Rows; r++ {
-			m.Data[r*m.Cols+c] = col[r]
+		for size := 2; size <= n; size <<= 1 {
+			half := size >> 1
+			step := n / size
+			for start := 0; start < n; start += size {
+				for k := 0; k < half; k++ {
+					wv := tab[k*step]
+					if inverse {
+						wv = complex(real(wv), -imag(wv))
+					}
+					ri, rj := start+k, start+k+half
+					rowI := m.Data[ri*w+c0 : ri*w+c1]
+					rowJ := m.Data[rj*w+c0 : rj*w+c1 : rj*w+c1]
+					for x := range rowJ {
+						t := rowJ[x] * wv
+						rowJ[x] = rowI[x] - t
+						rowI[x] += t
+					}
+				}
+			}
+		}
+		if inverse {
+			scale := complex(1/float64(n), 0)
+			for r := 0; r < n; r++ {
+				seg := m.Data[r*w+c0 : r*w+c1]
+				for x := range seg {
+					seg[x] *= scale
+				}
+			}
+		}
+	}
+}
+
+// bitReverseRows applies the bit-reversal permutation to whole rows — the
+// column-dimension analogue of bitReverse.
+func bitReverseRows(m *CMatrix) {
+	n := m.Rows
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			ri, rj := m.Row(i), m.Row(j)
+			for c := range ri {
+				ri[c], rj[c] = rj[c], ri[c]
+			}
 		}
 	}
 }
@@ -164,6 +244,17 @@ func transform2D(m *CMatrix, inverse bool) {
 // data and kernel are row-major with the given dimensions; the kernel must
 // not exceed the data in either dimension.
 func CrossCorrelateValid(data []float64, n, m int, kernel []float64, ka, kb int) []float64 {
+	checkDims(data, n, m, kernel, ka, kb)
+	out := make([]float64, (n-ka+1)*(m-kb+1))
+	NewPlan2D(data, n, m).CorrelatePairValid(kernel, nil, ka, kb, out, 1, nil, 0)
+	return out
+}
+
+// CrossCorrelateValidUnplanned is the pre-Plan2D implementation: every
+// call pads and forward-transforms both operands from scratch with two
+// full complex FFTs. Kept as the benchmark baseline for the planned
+// engine and as an independent cross-check implementation in tests.
+func CrossCorrelateValidUnplanned(data []float64, n, m int, kernel []float64, ka, kb int) []float64 {
 	checkDims(data, n, m, kernel, ka, kb)
 	pr, pc := NextPow2(n), NextPow2(m)
 	d := NewCMatrix(pr, pc)
@@ -223,33 +314,63 @@ func CrossCorrelateValidNaive(data []float64, n, m int, kernel []float64, ka, kb
 	return out
 }
 
+// convBufs recycles the single packed scratch vector ConvolveFull needs;
+// convolution-heavy callers (the transform baselines) loop tightly enough
+// that the per-call buffer allocation showed up in profiles.
+var convBufs sync.Pool
+
 // ConvolveFull computes the full linear convolution of two real sequences,
 // of length len(a)+len(b)-1, via FFT. Exposed for the transform baselines
 // and for testing the 1D path in isolation.
+//
+// Both inputs are real, so they are packed into one complex vector
+// c = a + i·b and transformed together: one forward FFT instead of two.
+// The spectra are recovered from the conjugate-symmetric halves,
+// A[w] = (C[w] + conj(C[−w]))/2 and B[w] = (C[w] − conj(C[−w]))/(2i),
+// multiplied pairwise in place, and inverted with a single IFFT.
 func ConvolveFull(a, b []float64) []float64 {
 	if len(a) == 0 || len(b) == 0 {
 		panic("fft: ConvolveFull with empty input")
 	}
 	outLen := len(a) + len(b) - 1
 	p := NextPow2(outLen)
-	fa := make([]complex128, p)
-	fb := make([]complex128, p)
+	var buf []complex128
+	if c, ok := convBufs.Get().(*[]complex128); ok && cap(*c) >= p {
+		buf = (*c)[:p]
+		clear(buf)
+	} else {
+		buf = make([]complex128, p)
+	}
 	for i, v := range a {
-		fa[i] = complex(v, 0)
+		buf[i] = complex(v, 0)
 	}
 	for i, v := range b {
-		fb[i] = complex(v, 0)
+		buf[i] += complex(0, v)
 	}
-	FFT(fa)
-	FFT(fb)
-	for i := range fa {
-		fa[i] *= fb[i]
+	FFT(buf)
+	// Unpack A and B at each conjugate pair (w, −w) and replace both slots
+	// with the product spectrum A·B before either is overwritten.
+	mask := p - 1
+	for w := 0; w <= p/2; w++ {
+		w2 := (p - w) & mask
+		cw, cw2 := buf[w], buf[w2]
+		aw := (cw + complex(real(cw2), -imag(cw2))) * complex(0.5, 0)
+		bw := (cw - complex(real(cw2), -imag(cw2))) * complex(0, -0.5)
+		if w == w2 {
+			buf[w] = aw * bw
+			continue
+		}
+		aw2 := (cw2 + complex(real(cw), -imag(cw))) * complex(0.5, 0)
+		bw2 := (cw2 - complex(real(cw), -imag(cw))) * complex(0, -0.5)
+		buf[w] = aw * bw
+		buf[w2] = aw2 * bw2
 	}
-	IFFT(fa)
+	IFFT(buf)
 	out := make([]float64, outLen)
 	for i := range out {
-		out[i] = real(fa[i])
+		out[i] = real(buf[i])
 	}
+	convBufs.Put(&buf)
 	return out
 }
 

@@ -1,0 +1,208 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// tableSpectra counts forward table spectra computed since process start
+// (one per NewPlan2D). The pool-construction tests assert the delta is
+// exactly one: the padded transform size depends only on the table, so
+// every (dyadic size × subpool × matrix) job must share one spectrum.
+var tableSpectra atomic.Int64
+
+// TableSpectrumCount returns how many forward table spectra have been
+// computed (i.e. how many Plan2D values were constructed).
+func TableSpectrumCount() int64 { return tableSpectra.Load() }
+
+// Plan2D is the frequency-domain correlation engine behind Theorem 3: it
+// computes the padded forward 2D spectrum of one real data table exactly
+// once and then correlates that shared spectrum against any number of
+// real kernels. Three mechanisms make a planned correlation cheap:
+//
+//   - Shared table spectrum. The padded size NextPow2(n)×NextPow2(m)
+//     depends only on the table, never on the kernel, so the table-side
+//     transform — half the FFT work of a one-shot correlation — is paid
+//     once per table instead of once per kernel.
+//   - Packed-pair kernel transforms. Kernels are real, so two of them
+//     ride one complex FFT as c = a + i·b. No explicit unpacking is ever
+//     needed: writing D for the table spectrum and C for the packed
+//     spectrum, the pointwise products of both correlations combine into
+//     G[w] = D[w]·conj(A[w]) + i·(D[w]·conj(B[w])) = D[w]·C[−w]
+//     (by the Hermitian symmetry conj(A[w] − i·B[w]) = C[−w] of
+//     real-input spectra), and one inverse transform of G returns
+//     correlation a in its real plane and correlation b in its imaginary
+//     plane. Two kernels cost one forward and one inverse FFT — versus
+//     six transforms for the same work through the unplanned path.
+//   - Recycled scratch. The single padded scratch matrix each correlation
+//     needs comes from a sync.Pool, so a planned correlation allocates
+//     nothing beyond what the caller hands it to write into.
+//
+// The spectrum is read-only after construction and the scratch pool is
+// concurrency-safe, so one Plan2D may be shared by any number of
+// goroutines; results are pure functions of (table, kernel), independent
+// of scheduling.
+type Plan2D struct {
+	rows, cols int          // table dims
+	pr, pc     int          // padded transform dims (powers of two)
+	spec       []complex128 // forward spectrum of the padded table, read-only
+	scratch    sync.Pool    // *CMatrix, pr×pc
+}
+
+// NewPlan2D builds the correlation plan for an n×m row-major real table,
+// computing its padded forward spectrum (the one table-side FFT every
+// correlation through this plan will share).
+func NewPlan2D(data []float64, n, m int) *Plan2D {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("fft: NewPlan2D with non-positive dims %dx%d", n, m))
+	}
+	if len(data) != n*m {
+		panic(fmt.Sprintf("fft: NewPlan2D data length %d != %d*%d", len(data), n, m))
+	}
+	pr, pc := NextPow2(n), NextPow2(m)
+	d := NewCMatrix(pr, pc)
+	for r := 0; r < n; r++ {
+		row := d.Row(r)
+		for c, v := range data[r*m : (r+1)*m] {
+			row[c] = complex(v, 0)
+		}
+	}
+	transform2DPartial(d, false, n)
+	tableSpectra.Add(1)
+	p := &Plan2D{rows: n, cols: m, pr: pr, pc: pc, spec: d.Data}
+	p.scratch.New = func() any { return NewCMatrix(pr, pc) }
+	return p
+}
+
+// Dims returns the table dimensions the plan was built for.
+func (p *Plan2D) Dims() (rows, cols int) { return p.rows, p.cols }
+
+// PaddedDims returns the power-of-two transform dimensions.
+func (p *Plan2D) PaddedDims() (pr, pc int) { return p.pr, p.pc }
+
+// OutDims returns the valid-correlation output dimensions for a ka×kb
+// kernel: every position at which the kernel fits inside the table.
+func (p *Plan2D) OutDims(ka, kb int) (rows, cols int) {
+	return p.rows - ka + 1, p.cols - kb + 1
+}
+
+// CorrelatePairValid cross-correlates the plan's table with one or two
+// real ka×kb kernels in a single FFT round trip, writing the valid-region
+// results through caller-chosen strides:
+//
+//	dstA[pos*strideA] = Σ data[i+u][j+v]·kernelA[u][v]   pos = i·outCols + j
+//	dstB[pos*strideB] = Σ data[i+u][j+v]·kernelB[u][v]   (when kernelB != nil)
+//
+// The strided write-through exists for position-major sketch planes: lane
+// i of a PlaneSet is dst = data[i:] with stride k, so correlation results
+// land directly in their final location with no intermediate plane copy.
+// Pass stride 1 for a plain contiguous output. kernelB may be nil (odd
+// trailing kernel of a packed-pair sweep), in which case dstB is ignored.
+//
+// Safe for concurrent use; allocates nothing beyond a possible scratch
+// grow on first concurrent use.
+func (p *Plan2D) CorrelatePairValid(kernelA, kernelB []float64, ka, kb int,
+	dstA []float64, strideA int, dstB []float64, strideB int) {
+	if ka <= 0 || kb <= 0 {
+		panic(fmt.Sprintf("fft: non-positive kernel dims %dx%d", ka, kb))
+	}
+	if ka > p.rows || kb > p.cols {
+		panic(fmt.Sprintf("fft: kernel %dx%d exceeds table %dx%d", ka, kb, p.rows, p.cols))
+	}
+	if len(kernelA) != ka*kb {
+		panic(fmt.Sprintf("fft: kernel A length %d != %d*%d", len(kernelA), ka, kb))
+	}
+	if kernelB != nil && len(kernelB) != ka*kb {
+		panic(fmt.Sprintf("fft: kernel B length %d != %d*%d", len(kernelB), ka, kb))
+	}
+	outRows, outCols := p.OutDims(ka, kb)
+	positions := outRows * outCols
+	checkStride(len(dstA), strideA, positions, "A")
+	if kernelB != nil {
+		checkStride(len(dstB), strideB, positions, "B")
+	}
+
+	scr := p.scratch.Get().(*CMatrix)
+	clear(scr.Data)
+	// Pack the pair as one complex kernel c = a + i·b.
+	for r := 0; r < ka; r++ {
+		row := scr.Row(r)
+		ra := kernelA[r*kb : (r+1)*kb]
+		if kernelB == nil {
+			for c, v := range ra {
+				row[c] = complex(v, 0)
+			}
+		} else {
+			rb := kernelB[r*kb : (r+1)*kb]
+			for c, v := range ra {
+				row[c] = complex(v, rb[c])
+			}
+		}
+	}
+	// Rows ka..pr-1 are zero: their row transforms are skipped exactly.
+	transform2DPartial(scr, false, ka)
+
+	// G[w] = D[w]·C[−w], the combined correlation spectrum of both
+	// kernels (see the type comment). Computed in place by visiting each
+	// conjugate index pair (w, −w) once and writing both slots before
+	// either is re-read.
+	spec, data := p.spec, scr.Data
+	pr, pc := p.pr, p.pc
+	rmask, cmask := pr-1, pc-1
+	for r := 0; r < pr; r++ {
+		base := r * pc
+		base2 := ((pr - r) & rmask) * pc
+		for c := 0; c < pc; c++ {
+			i := base + c
+			j := base2 + ((pc - c) & cmask)
+			if i > j {
+				continue
+			}
+			if i == j {
+				data[i] *= spec[i]
+				continue
+			}
+			ci, cj := data[i], data[j]
+			data[i] = spec[i] * cj
+			data[j] = spec[j] * ci
+		}
+	}
+
+	transform2D(scr, true)
+	// Valid-region extraction: correlation a is the real plane,
+	// correlation b the imaginary plane. Rows are read contiguously and
+	// written through the caller's strides.
+	for r := 0; r < outRows; r++ {
+		row := scr.Data[r*pc : r*pc+outCols]
+		pos := r * outCols
+		for c, v := range row {
+			dstA[(pos+c)*strideA] = real(v)
+		}
+		if kernelB != nil {
+			for c, v := range row {
+				dstB[(pos+c)*strideB] = imag(v)
+			}
+		}
+	}
+	p.scratch.Put(scr)
+}
+
+// CorrelateValid is the single-kernel convenience wrapper around
+// CorrelatePairValid, returning a freshly allocated contiguous plane.
+func (p *Plan2D) CorrelateValid(kernel []float64, ka, kb int) []float64 {
+	outRows, outCols := p.OutDims(ka, kb)
+	out := make([]float64, outRows*outCols)
+	p.CorrelatePairValid(kernel, nil, ka, kb, out, 1, nil, 0)
+	return out
+}
+
+func checkStride(length, stride, positions int, which string) {
+	if stride <= 0 {
+		panic(fmt.Sprintf("fft: non-positive stride %d for output %s", stride, which))
+	}
+	if length < (positions-1)*stride+1 {
+		panic(fmt.Sprintf("fft: output %s length %d too short for %d positions at stride %d",
+			which, length, positions, stride))
+	}
+}

@@ -52,6 +52,10 @@ func NewIntervalPool(x []float64, p float64, k int, seed uint64, minLog, maxLog 
 		n: len(x), p: p, k: k, minLog: minLog, maxLog: maxLog,
 		sets: make(map[int][compoundSets]*core.PlaneSet),
 	}
+	// All window lengths correlate against the same series, so every
+	// plane set shares one frequency-domain plan (one forward FFT of the
+	// padded series, total).
+	tp := core.NewTablePlan(tb)
 	for e := minLog; e <= maxLog; e++ {
 		var sets [compoundSets]*core.PlaneSet
 		for s := 0; s < compoundSets; s++ {
@@ -60,7 +64,7 @@ func NewIntervalPool(x []float64, p float64, k int, seed uint64, minLog, maxLog 
 			if err != nil {
 				return nil, err
 			}
-			sets[s] = sk.AllPositions(tb)
+			sets[s] = sk.AllPositionsPlan(tp)
 		}
 		pl.sets[e] = sets
 	}
