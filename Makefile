@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json fuzz vet all
+.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo all
 
 all: build test
 
@@ -23,6 +23,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skips with a note when the binary is not
+# installed (CI installs it; locally: go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Benchmarks; -cpu exercises the parallel paths at several core budgets
 # (workers default to GOMAXPROCS, which -cpu sets).
@@ -43,3 +52,30 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMedianAndQuantileAgainstSort -fuzztime=$(FUZZTIME) ./internal/quantile
 	$(GO) test -run='^$$' -fuzz=FuzzRead$$ -fuzztime=$(FUZZTIME) ./internal/tabfile
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/tabfile
+	$(GO) test -run='^$$' -fuzz=FuzzLoadPool -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzLoadPlaneSet -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzOpen -fuzztime=$(FUZZTIME) ./internal/tabstore
+
+# The same fuzz pass at CI-friendly duration — a smoke test that the
+# corrupt-input hardening (snapshot loaders, store manifest, tabfile
+# readers) holds against fresh inputs, not just the checked-in corpora.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
+# Demonstrates the store's corruption handling end to end: build a
+# two-day store, flip bytes in one day file, watch fsck quarantine it
+# (exit 1), then verify the repaired store passes (exit 0).
+fsck-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) run ./cmd/tabmine-gendata -kind callvolume -stations 60 -seed 1 -o "$$d/day0.tabf"; \
+	$(GO) run ./cmd/tabmine-gendata -kind callvolume -stations 60 -seed 2 -o "$$d/day1.tabf"; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" init; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" append -label mon -in "$$d/day0.tabf"; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" append -label tue -in "$$d/day1.tabf"; \
+	printf '\336\255\276\357' | dd of="$$d/store/day-0000.tabf" bs=1 seek=64 conv=notrunc status=none; \
+	echo '--- fsck on a corrupted store (must detect and repair):'; \
+	if $(GO) run ./cmd/tabmine-store -dir "$$d/store" fsck; then \
+		echo 'ERROR: fsck missed the corruption'; exit 1; \
+	fi; \
+	echo '--- fsck after repair (must be clean):'; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" fsck

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lpnorm"
+	"repro/internal/runctx"
 	"repro/internal/tabfile"
 	"repro/internal/table"
 	"repro/internal/vizascii"
@@ -39,8 +40,11 @@ func main() {
 		pngOut   = flag.String("png", "", "also write the cluster map as a PNG to this path")
 		pngCell  = flag.Int("png-cell", 12, "pixels per tile in the PNG map")
 		workers  = flag.Int("workers", 0, "worker goroutines for sketching and clustering (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	flag.Parse()
+	ctx, stop := runctx.WithSignals(*timeout)
+	defer stop()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "tabmine-cluster: -in is required")
 		flag.Usage()
@@ -93,7 +97,7 @@ func main() {
 	}
 	t0 := time.Now()
 	res, err := cluster.KMeans(points, dist, cluster.Config{
-		K: *clusters, Seed: *seed, Workers: clusterWorkers,
+		K: *clusters, Seed: *seed, Workers: clusterWorkers, Context: ctx,
 	})
 	fatal(err)
 	elapsed := time.Since(t0)

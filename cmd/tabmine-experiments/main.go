@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/runctx"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 		scale   = flag.Int("scale", 1, "workload scale multiplier (1 = laptop defaults)")
 		seed    = flag.Uint64("seed", 42, "experiment seed")
 		workers = flag.Int("workers", 0, "cap worker goroutines across all experiments (0 = all cores)")
+		timeout = flag.Duration("timeout", 0, "abort the suite after this duration (0 = none)")
 	)
 	flag.Parse()
 	if *scale < 1 {
@@ -33,6 +35,11 @@ func main() {
 		// are identical at any setting (the determinism contract).
 		runtime.GOMAXPROCS(*workers)
 	}
+	// ^C or -timeout stops the suite at the next experiment boundary —
+	// each experiment is self-contained, so a partial suite is still a
+	// set of complete, valid figures.
+	ctx, stop := runctx.WithSignals(*timeout)
+	defer stop()
 
 	run := map[string]func(){
 		"fig2":      func() { runFig2(*scale, *seed) },
@@ -46,6 +53,7 @@ func main() {
 	}
 	if *fig == "all" {
 		for _, name := range []string{"fig2", "fig3", "fig4a", "fig4b", "fig5", "baselines", "sweepk", "algos"} {
+			fatal(ctx.Err())
 			run[name]()
 			fmt.Println()
 		}

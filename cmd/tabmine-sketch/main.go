@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fft"
 	"repro/internal/lpnorm"
+	"repro/internal/runctx"
 	"repro/internal/tabfile"
 	"repro/internal/table"
 )
@@ -57,8 +58,13 @@ func main() {
 		savePool = flag.String("save-pool", "", "with -pool: save the built pool to this file")
 		loadPool = flag.String("load-pool", "", "with -pool: load a previously saved pool instead of building")
 		workers  = flag.Int("workers", 0, "worker goroutines for sketch construction (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	)
 	flag.Parse()
+	// ^C (or the timeout) cancels the pool build mid-flight; an atomic
+	// save means an aborted run never leaves a torn snapshot behind.
+	ctx, stop := runctx.WithSignals(*timeout)
+	defer stop()
 	if *in == "" || *rectA == "" || *rectB == "" {
 		fmt.Fprintln(os.Stderr, "tabmine-sketch: -in, -a and -b are required")
 		flag.Usage()
@@ -93,10 +99,7 @@ func main() {
 		t0 = time.Now()
 		var pool *core.Pool
 		if *loadPool != "" {
-			f, err := os.Open(*loadPool)
-			fatal(err)
-			pool, err = core.LoadPool(f)
-			f.Close()
+			pool, err = core.LoadPoolFile(*loadPool)
 			fatal(err)
 			fmt.Printf("loaded pool from %s\n", *loadPool)
 		} else {
@@ -114,19 +117,13 @@ func main() {
 			var err error
 			pool, err = core.NewPool(tb, *p, *k, *seed, core.PoolOptions{
 				MinLogRows: ei, MaxLogRows: ei, MinLogCols: ej, MaxLogCols: ej,
-				Workers: *workers,
+				Workers: *workers, Context: ctx,
 			})
 			fatal(err)
 		}
 		prepTime = time.Since(t0)
 		if *savePool != "" {
-			f, err := os.Create(*savePool)
-			fatal(err)
-			err = core.SavePool(f, pool)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			fatal(err)
+			fatal(core.SavePoolFile(*savePool, pool))
 			fmt.Printf("saved pool to %s\n", *savePool)
 		}
 		t0 = time.Now()

@@ -6,6 +6,7 @@
 //	tabmine-store -dir ./calls append -label mon -in day0.tabf -gzip
 //	tabmine-store -dir ./calls list
 //	tabmine-store -dir ./calls export -from 0 -to 3 -o week.tabf
+//	tabmine-store -dir ./calls fsck
 package main
 
 import (
@@ -24,7 +25,7 @@ func main() {
 		dir = flag.String("dir", "", "store directory (required)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tabmine-store -dir DIR {init | append | list | export} [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: tabmine-store -dir DIR {init | append | list | export | fsck} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +47,8 @@ func main() {
 		runList(*dir)
 	case "export":
 		runExport(*dir, args)
+	case "fsck":
+		runFsck(*dir)
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", cmd))
 	}
@@ -112,6 +115,38 @@ func runExport(dir string, args []string) {
 	fatal(err)
 	fatal(tabfile.WriteFile(*out, tb, *gz))
 	fmt.Printf("exported days [%d, %d) as %dx%d to %s\n", *from, end, tb.Rows(), tb.Cols(), *out)
+}
+
+// runFsck verifies every day file (existence, CRC32C, decodability,
+// dimensions), quarantines corrupt files, and rebuilds the manifest.
+// Exit status 1 signals that problems were found, so scripts can gate on
+// store health.
+func runFsck(dir string) {
+	s, err := tabstore.Open(dir)
+	fatal(err)
+	rep, err := s.Fsck()
+	fatal(err)
+	fmt.Printf("checked %d days\n", rep.Checked)
+	for _, p := range rep.Problems {
+		fmt.Printf("  problem: %s\n", p)
+	}
+	for _, f := range rep.Quarantined {
+		fmt.Printf("  quarantined: %s -> quarantine/\n", f)
+	}
+	for _, f := range rep.Missing {
+		fmt.Printf("  missing: %s\n", f)
+	}
+	for _, f := range rep.TempsRemoved {
+		fmt.Printf("  removed stray temp: %s\n", f)
+	}
+	if rep.Rebuilt {
+		fmt.Printf("manifest rebuilt: %d days remain\n", s.NumDays())
+	}
+	if rep.OK() {
+		fmt.Println("store is healthy")
+	} else {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

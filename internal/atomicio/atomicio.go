@@ -1,0 +1,109 @@
+// Package atomicio provides crash-safe file replacement for the
+// persistence layers (sketch snapshots, table-store day files and
+// manifests). WriteFile streams the new contents to a temporary file in
+// the destination directory, flushes it to stable storage, and renames it
+// over the destination, so a reader — or a process restarting after a
+// crash — observes either the complete old contents or the complete new
+// contents, never a torn write.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tempInfix appears in every temporary file WriteFile creates; stray
+// files carrying it (from a write that crashed before its rename) are
+// recognized by IsTemp and removed by CleanTemps.
+const tempInfix = ".tmp-"
+
+// TestWrapWriter, when non-nil, wraps the temporary file's writer inside
+// WriteFile. It exists solely so tests can inject deterministic I/O
+// faults (see internal/faultinject); production code must leave it nil.
+var TestWrapWriter func(path string, w io.Writer) io.Writer
+
+// IsTemp reports whether name looks like a temporary file left behind by
+// an interrupted atomic write — either this package's ".tmp-" infix or
+// the legacy ".tmp" suffix convention.
+func IsTemp(name string) bool {
+	return strings.Contains(name, tempInfix) || strings.HasSuffix(name, ".tmp")
+}
+
+// WriteFile atomically replaces path with whatever write produces. The
+// payload is streamed to a temporary sibling file, fsynced, closed, and
+// renamed over path; the containing directory is fsynced afterwards so
+// the rename itself survives a crash. On any error the temporary file is
+// removed and path is left untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+tempInfix+"*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	renamed := false
+	defer func() {
+		if !renamed {
+			f.Close() // double-close after a successful Close is harmless
+			os.Remove(tmp)
+		}
+	}()
+	var w io.Writer = f
+	if TestWrapWriter != nil {
+		w = TestWrapWriter(path, f)
+	}
+	if err := write(w); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: committing %s: %w", path, err)
+	}
+	renamed = true
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// CleanTemps removes stray temporary files in dir (non-recursively) and
+// returns the names removed, in directory order. It is safe to call on a
+// live directory: only names IsTemp recognizes are touched.
+func CleanTemps(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !IsTemp(e.Name()) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("atomicio: removing stray temp: %w", err)
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
+}

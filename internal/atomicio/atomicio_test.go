@@ -1,0 +1,138 @@
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	for _, content := range []string{"first contents", "second contents"} {
+		err := WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read %q, want %q", got, content)
+		}
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("directory holds %v, want only the target", names)
+	}
+}
+
+func TestWriteFileErrorLeavesOldIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := os.WriteFile(path, []byte("old snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "half the new conte"); err != nil {
+			return err
+		}
+		return faultinject.ErrInjected
+	})
+	if err != faultinject.ErrInjected {
+		t.Fatalf("err = %v, want the write callback's error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old snapshot" {
+		t.Fatalf("target corrupted to %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file leaked: %v", names)
+	}
+}
+
+func TestWriteFileInjectedIOFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := os.WriteFile(path, []byte("old snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	TestWrapWriter = func(_ string, w io.Writer) io.Writer {
+		return &faultinject.Writer{W: w, FailAt: 1, Short: true}
+	}
+	defer func() { TestWrapWriter = nil }()
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("the new snapshot payload"))
+		return err
+	})
+	if err != faultinject.ErrInjected {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old snapshot" {
+		t.Fatalf("target corrupted to %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file leaked: %v", names)
+	}
+}
+
+func TestIsTemp(t *testing.T) {
+	for name, want := range map[string]bool{
+		"snap.bin":            false,
+		"snap.bin.tmp":        true,
+		"snap.bin.tmp-123456": true,
+		"manifest.json.tmp":   true,
+		"tmpfile":             false,
+	} {
+		if got := IsTemp(name); got != want {
+			t.Errorf("IsTemp(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCleanTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"keep.bin", "keep.bin.tmp-777", "old.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Directories are never touched, even with a temp-looking name.
+	if err := os.Mkdir(filepath.Join(dir, "sub.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := CleanTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the two stray temps", removed)
+	}
+	names := listDir(t, dir)
+	if len(names) != 2 {
+		t.Fatalf("left %v, want keep.bin and sub.tmp", names)
+	}
+}

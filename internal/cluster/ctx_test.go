@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
+)
+
+func ctxTestPoints(t *testing.T) ([][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(5, 5))
+	centers := [][]float64{{0, 0}, {60, 0}, {0, 60}, {60, 60}}
+	points, truth := blobs(rng, centers, 30, 1.0)
+	return points, truth
+}
+
+func TestKMeansPreCancelled(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := KMeans(points, l2, Config{K: 4, Seed: 3, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run published a result")
+	}
+}
+
+func TestKMeansCancelMidRun(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	for _, workers := range []int{1, 3} {
+		ctx := faultinject.CancelAfterChecks(context.Background(), 8)
+		res, err := KMeans(points, l2, Config{
+			K: 4, Seed: 3, Init: InitPlusPlus, Workers: workers, Context: ctx,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: cancelled run published a result", workers)
+		}
+	}
+}
+
+func TestKMedoidsPreCancelled(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := KMedoids(points, l2, Config{K: 4, Seed: 3, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run published a result")
+	}
+}
+
+func TestKMedoidsCancelMidRun(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	ctx := faultinject.CancelAfterChecks(context.Background(), 10)
+	res, err := KMedoids(points, l2, Config{
+		K: 4, Seed: 3, Init: InitPlusPlus, Workers: 2, Context: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run published a result")
+	}
+}
+
+// TestKMeansPanickingDistIsolated drives a panic out of the user-supplied
+// distance function on a worker goroutine and expects it back as a
+// *parallel.PanicError carrying the value and a stack, not a crashed
+// process.
+func TestKMeansPanickingDistIsolated(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	calls := 0
+	evil := func(a, b []float64) float64 {
+		calls++
+		if calls == 300 {
+			panic("distance blew up")
+		}
+		return l2(a, b)
+	}
+	// Workers must be 1: the counter is unsynchronized, and with one
+	// worker the panic site is deterministic too.
+	_, err := KMeans(points, evil, Config{K: 4, Seed: 3, Workers: 1, Context: context.Background()})
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *parallel.PanicError", err)
+	}
+	if pe.Value != "distance blew up" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatal("panic error carries no stack trace")
+	}
+}
+
+func TestKMeansPanickingDistParallel(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	boom := faultinject.PanicNth(500, "parallel dist panic")
+	evil := func(a, b []float64) float64 {
+		boom()
+		return l2(a, b)
+	}
+	_, err := KMeans(points, evil, Config{K: 4, Seed: 3, Workers: 4, Context: context.Background()})
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *parallel.PanicError", err)
+	}
+	if pe.Value != "parallel dist panic" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+}
+
+// TestKMeansContextDoesNotChangeResult: the determinism contract — adding
+// a context (and changing worker count) must not perturb the clustering.
+func TestKMeansContextDoesNotChangeResult(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	want, err := KMeans(points, l2, Config{K: 4, Seed: 11, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		got, err := KMeans(points, l2, Config{
+			K: 4, Seed: 11, Init: InitPlusPlus, Workers: workers,
+			Context: context.Background(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iterations != want.Iterations || got.Converged != want.Converged {
+			t.Fatalf("workers=%d: iterations %d/%v vs %d/%v",
+				workers, got.Iterations, got.Converged, want.Iterations, want.Converged)
+		}
+		for i := range want.Assign {
+			if got.Assign[i] != want.Assign[i] {
+				t.Fatalf("workers=%d: assignment differs at point %d", workers, i)
+			}
+		}
+		for c := range want.Centroids {
+			for j := range want.Centroids[c] {
+				if got.Centroids[c][j] != want.Centroids[c][j] {
+					t.Fatalf("workers=%d: centroid %d differs at dim %d", workers, c, j)
+				}
+			}
+		}
+	}
+}
+
+func TestKMedoidsContextDoesNotChangeResult(t *testing.T) {
+	points, _ := ctxTestPoints(t)
+	want, err := KMedoids(points, l2, Config{K: 4, Seed: 11, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := KMedoids(points, l2, Config{
+		K: 4, Seed: 11, Init: InitPlusPlus, Workers: 3,
+		Context: context.Background(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("assignment differs at point %d", i)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -60,6 +61,20 @@ type Config struct {
 	// count: each point's assignment is written to its own slot and no
 	// floating-point reduction crosses a worker boundary.
 	Workers int
+	// Context, when non-nil, makes the run cancellable: workers poll it
+	// during assignment and seeding scans and the Lloyd loop checks it
+	// between iterations. A cancelled run returns ctx.Err() and no
+	// Result. A run that completes is byte-identical whether or not a
+	// context was set.
+	Context context.Context
+}
+
+// ctx resolves the Context knob (nil means Background).
+func (cfg Config) ctx() context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
 }
 
 // workers resolves the Workers knob; see its doc comment. Unlike
@@ -116,9 +131,13 @@ func KMeans(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 		maxIter = defaultMaxIter
 	}
 
+	ctx := cfg.ctx()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6b6d65616e73))
 	res := &Result{Assign: make([]int, n)}
-	centroids := initialCentroids(points, dist, cfg, rng, &res.Comparisons)
+	centroids, err := initialCentroids(ctx, points, dist, cfg, rng, &res.Comparisons)
+	if err != nil {
+		return nil, err
+	}
 
 	assign := res.Assign
 	for i := range assign {
@@ -132,8 +151,14 @@ func KMeans(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 
 	workers := cfg.workers()
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
-		changed := assignPoints(points, centroids, assign, dist, workers)
+		changed, err := assignPoints(ctx, points, centroids, assign, dist, workers)
+		if err != nil {
+			return nil, err
+		}
 		res.Comparisons += int64(n) * int64(cfg.K)
 		if changed == 0 {
 			res.Converged = true
@@ -187,12 +212,19 @@ func KMeans(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 // centroid index exactly as in the serial loop, so the result is
 // identical at every worker count. dist must be concurrency-safe when
 // workers > 1 (see Config.Workers).
-func assignPoints(points, centroids [][]float64, assign []int, dist DistFunc, workers int) int {
+//
+// Workers poll ctx every ctxStride points and a panic inside dist comes
+// back as a *parallel.PanicError; on either error the (partially
+// updated) assign slice must be discarded by the caller.
+func assignPoints(ctx context.Context, points, centroids [][]float64, assign []int, dist DistFunc, workers int) (int, error) {
 	nb := parallel.NumBlocks(workers, len(points))
 	changedPer := make([]int, nb)
-	parallel.Blocks(workers, len(points), func(lo, hi, block int) {
+	err := parallel.BlocksCtx(ctx, workers, len(points), func(lo, hi, block int) {
 		changed := 0
 		for i := lo; i < hi; i++ {
+			if i&(ctxStride-1) == 0 && ctx.Err() != nil {
+				return
+			}
 			p := points[i]
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range centroids {
@@ -208,14 +240,36 @@ func assignPoints(points, centroids [][]float64, assign []int, dist DistFunc, wo
 		}
 		changedPer[block] = changed
 	})
+	if err != nil {
+		return 0, err
+	}
 	changed := 0
 	for _, c := range changedPer {
 		changed += c
 	}
-	return changed
+	return changed, nil
 }
 
-func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.Rand, comparisons *int64) [][]float64 {
+// ctxStride is how many points a worker processes between context polls
+// (a power of two so the check is a mask). Distances are cheap (O(k) on
+// sketches), so polling every point would pay a mutex-guarded ctx.Err()
+// per distance; every 64th keeps cancellation prompt at negligible cost.
+const ctxStride = 64
+
+// d2Scan fans the k-means++ D² update over points with the assignment
+// loop's cancellation and panic-isolation contract: fn(i) owns slot i.
+func d2Scan(ctx context.Context, workers, n int, fn func(i int)) error {
+	return parallel.BlocksCtx(ctx, workers, n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if i&(ctxStride-1) == 0 && ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+	})
+}
+
+func initialCentroids(ctx context.Context, points [][]float64, dist DistFunc, cfg Config, rng *rand.Rand, comparisons *int64) ([][]float64, error) {
 	n, dim := len(points), len(points[0])
 	centroids := make([][]float64, cfg.K)
 	for c := range centroids {
@@ -230,10 +284,12 @@ func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.R
 		// sequence is identical at any worker count.
 		copy(centroids[0], points[rng.IntN(n)])
 		d2 := make([]float64, n)
-		parallel.For(workers, n, func(i int) {
+		if err := d2Scan(ctx, workers, n, func(i int) {
 			d := dist(points[i], centroids[0])
 			d2[i] = d * d
-		})
+		}); err != nil {
+			return nil, err
+		}
 		*comparisons += int64(n)
 		for c := 1; c < cfg.K; c++ {
 			var total float64
@@ -254,12 +310,14 @@ func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.R
 			}
 			copy(centroids[c], points[idx])
 			cent := centroids[c]
-			parallel.For(workers, n, func(i int) {
+			if err := d2Scan(ctx, workers, n, func(i int) {
 				d := dist(points[i], cent)
 				if dd := d * d; dd < d2[i] {
 					d2[i] = dd
 				}
-			})
+			}); err != nil {
+				return nil, err
+			}
 			*comparisons += int64(n)
 		}
 	default:
@@ -269,7 +327,7 @@ func initialCentroids(points [][]float64, dist DistFunc, cfg Config, rng *rand.R
 			copy(centroids[c], points[perm[c]])
 		}
 	}
-	return centroids
+	return centroids, nil
 }
 
 // Spread returns Σᵢ dist(pointᵢ, centroid of its cluster) — the cluster

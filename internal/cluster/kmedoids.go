@@ -39,6 +39,7 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 		maxIter = defaultMaxIter
 	}
 
+	ctx := cfg.ctx()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6d65646f696473))
 	res := &Result{Assign: make([]int, n)}
 
@@ -55,10 +56,12 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 		medoids[0] = rng.IntN(n)
 		d2 := make([]float64, n)
 		first := points[medoids[0]]
-		parallel.For(workers, n, func(i int) {
+		if err := d2Scan(ctx, workers, n, func(i int) {
 			d := dist(points[i], first)
 			d2[i] = d * d
-		})
+		}); err != nil {
+			return nil, err
+		}
 		res.Comparisons += int64(n)
 		for c := 1; c < cfg.K; c++ {
 			var total float64
@@ -77,12 +80,14 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 			}
 			medoids[c] = idx
 			cand := points[idx]
-			parallel.For(workers, n, func(i int) {
+			if err := d2Scan(ctx, workers, n, func(i int) {
 				d := dist(points[i], cand)
 				if dd := d * d; dd < d2[i] {
 					d2[i] = dd
 				}
-			})
+			}); err != nil {
+				return nil, err
+			}
 			res.Comparisons += int64(n)
 		}
 	default:
@@ -93,12 +98,18 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 	members := make([][]int, cfg.K)
 	medoidPoints := make([][]float64, cfg.K)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
 		// Assignment step, fanned out over points exactly as in k-means.
 		for c, m := range medoids {
 			medoidPoints[c] = points[m]
 		}
-		changed := assignPoints(points, medoidPoints, assign, dist, workers)
+		changed, err := assignPoints(ctx, points, medoidPoints, assign, dist, workers)
+		if err != nil {
+			return nil, err
+		}
 		res.Comparisons += int64(n) * int64(cfg.K)
 		if changed == 0 && iter > 0 {
 			res.Converged = true
@@ -127,7 +138,9 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 			comparisons += int64(len(mem)) * int64(len(mem))
 		}
 		res.Comparisons += comparisons
-		parallel.For(workers, cfg.K, func(c int) {
+		// Per-cluster items are coarse (quadratic in cluster size), so
+		// ForCtx's per-item poll is enough for prompt cancellation.
+		if err := parallel.ForCtx(ctx, workers, cfg.K, func(c int) {
 			mem := members[c]
 			if len(mem) == 0 {
 				return
@@ -143,7 +156,9 @@ func KMedoids(points [][]float64, dist DistFunc, cfg Config) (*Result, error) {
 				}
 			}
 			medoids[c] = bestIdx
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 	res.Centroids = make([][]float64, cfg.K)
 	for c, m := range medoids {

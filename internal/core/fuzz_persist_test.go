@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// The fuzz targets assert the loader hardening contract: arbitrary bytes
+// — truncations, bit flips, hostile headers — must produce an error,
+// never a panic and never an allocation proportional to a corrupt
+// header's claims. maxSnapshotFloats is lowered so a fuzzer that does
+// find an unbounded-allocation path OOMs the worker visibly instead of
+// thrashing.
+
+func lowerSnapshotCap(f *testing.F) {
+	old := maxSnapshotFloats
+	maxSnapshotFloats = 1 << 20
+	f.Cleanup(func() { maxSnapshotFloats = old })
+}
+
+func fuzzPlaneSetSeed(f *testing.F) []byte {
+	rng := rand.New(rand.NewPCG(40, 40))
+	tb := randTable(rng, 10, 10)
+	sk, err := NewSketcher(1, 2, 2, 2, 7, EstimatorAuto)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePlaneSet(&buf, sk.AllPositions(tb)); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzLoadPlaneSet(f *testing.F) {
+	lowerSnapshotCap(f)
+	valid := fuzzPlaneSetSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("SKPL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := LoadPlaneSet(bytes.NewReader(data))
+		if err == nil && ps == nil {
+			t.Fatal("nil plane set without error")
+		}
+	})
+}
+
+func fuzzPoolSeed(f *testing.F) []byte {
+	rng := rand.New(rand.NewPCG(41, 41))
+	tb := randTable(rng, 8, 8)
+	pool, err := NewPool(tb, 1, 2, 7, PoolOptions{
+		MinLogRows: 1, MaxLogRows: 2, MinLogCols: 1, MaxLogCols: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePool(&buf, pool); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzLoadPool(f *testing.F) {
+	lowerSnapshotCap(f)
+	valid := fuzzPoolSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("SKPO"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := LoadPool(bytes.NewReader(data))
+		if err == nil && pl == nil {
+			t.Fatal("nil pool without error")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fft"
@@ -55,6 +56,15 @@ func (s *Sketcher) AllPositions(t *table.Table) *PlaneSet {
 	return s.AllPositionsPlan(NewTablePlan(t))
 }
 
+// AllPositionsCtx is AllPositions with cooperative cancellation: workers
+// check ctx between correlation pairs, a cancelled run returns ctx.Err()
+// with no plane set published, and a worker panic comes back as a
+// *parallel.PanicError instead of crashing the process. A run that
+// completes is byte-identical to AllPositions at any worker count.
+func (s *Sketcher) AllPositionsCtx(ctx context.Context, t *table.Table) (*PlaneSet, error) {
+	return s.AllPositionsPlanCtx(ctx, NewTablePlan(t))
+}
+
 // AllPositionsPlan computes the PlaneSet of s over the planned table. The
 // k correlations ride the packed-pair engine — random matrices (2i, 2i+1)
 // share one complex FFT round trip — and fan out over the sketcher's
@@ -63,10 +73,22 @@ func (s *Sketcher) AllPositions(t *table.Table) *PlaneSet {
 // the correlation, no intermediate plane copy), so the plane set is
 // byte-identical at any worker count.
 func (s *Sketcher) AllPositionsPlan(tp *TablePlan) *PlaneSet {
+	ps, err := s.AllPositionsPlanCtx(context.Background(), tp)
+	if err != nil {
+		// Background never cancels; only a recovered worker panic lands
+		// here, and the no-error API re-raises it on the caller.
+		panic(err)
+	}
+	return ps
+}
+
+// AllPositionsPlanCtx is AllPositionsPlan with the cancellation and
+// panic-isolation contract of AllPositionsCtx.
+func (s *Sketcher) AllPositionsPlanCtx(ctx context.Context, tp *TablePlan) (*PlaneSet, error) {
 	t := tp.t
 	ps := s.newPlaneSet(t)
 	pairs := (s.k + 1) / 2
-	parallel.For(s.workers, pairs, func(pi int) {
+	err := parallel.ForCtx(ctx, s.workers, pairs, func(pi int) {
 		i := 2 * pi
 		var kernB, dstB []float64
 		if i+1 < s.k {
@@ -76,7 +98,10 @@ func (s *Sketcher) AllPositionsPlan(tp *TablePlan) *PlaneSet {
 		tp.plan.CorrelatePairValid(s.mats[i], kernB, s.rows, s.cols,
 			ps.data[i:], s.k, dstB, s.k)
 	})
-	return ps
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
 }
 
 // AllPositionsNaive is the O(k·N·M) direct-computation baseline, kept for

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -26,6 +27,12 @@ type PoolOptions struct {
 	// 0 means GOMAXPROCS; 1 forces serial construction. Results are
 	// identical regardless (each plane set's randomness is seed-derived).
 	Workers int
+	// Context, when non-nil, makes NewPool cancellable: workers poll it
+	// between plane-set jobs and correlation pairs, and a cancelled build
+	// returns ctx.Err() with no partial pool published. A build that
+	// completes is byte-identical whether or not a context was set. The
+	// finished Pool does not retain the context.
+	Context context.Context
 }
 
 // DefaultPoolOptions covers every dyadic size from 2×2 up to the largest
@@ -79,6 +86,11 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 		return nil, fmt.Errorf("core: pool max dyadic size %dx%d exceeds table %dx%d",
 			1<<opts.MaxLogRows, 1<<opts.MaxLogCols, t.Rows(), t.Cols())
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Context = nil // the immutable Pool must not retain the build context
 	pl := &Pool{
 		p: p, k: k, rows: t.Rows(), cols: t.Cols(), seed: seed, opts: opts,
 		entries: make(map[[2]int][compoundSets]*PlaneSet),
@@ -120,7 +132,7 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 	// worker count.
 	results := make([]*PlaneSet, len(jobs))
 	errs := make([]error, len(jobs))
-	parallel.For(workers, len(jobs), func(n int) {
+	if err := parallel.ForCtx(ctx, workers, len(jobs), func(n int) {
 		jb := jobs[n]
 		// Distinct deterministic seed per (size, set): results do not
 		// depend on scheduling.
@@ -131,8 +143,16 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 			return
 		}
 		sk.SetWorkers(innerWorkers)
-		results[n] = sk.AllPositionsPlan(tp)
-	})
+		ps, err := sk.AllPositionsPlanCtx(ctx, tp)
+		if err != nil {
+			errs[n] = err
+			return
+		}
+		results[n] = ps
+	}); err != nil {
+		// Cancelled (or a worker panicked): publish nothing.
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,117 @@
+// Package faultinject provides deterministic fault injection for the
+// robustness test suites: counted triggers that fail the nth write,
+// return a short (torn) write, panic inside a worker, or cancel a
+// context after a fixed number of cancellation checks. Every trigger is
+// a plain counter or a seeded derivation — no wall clocks, no real
+// randomness — so a crash scenario that fails once replays identically.
+//
+// The package is imported only from _test files. Production packages
+// expose narrow hooks (atomicio.TestWrapWriter, user callbacks, Context
+// options) that tests wire to these injectors, so no injection code is
+// compiled into release binaries.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by injected I/O faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Writer wraps W and fails deterministically: the FailAt-th Write call
+// (1-based) returns ErrInjected — after passing through the first half of
+// its buffer when Short is set, modeling a torn write cut off mid-buffer.
+// FailAt 0 never fails, which makes Writer double as a write counter.
+type Writer struct {
+	W      io.Writer
+	FailAt int
+	Short  bool
+	Count  int // Write calls observed so far
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	w.Count++
+	if w.FailAt > 0 && w.Count == w.FailAt {
+		if w.Short && len(p) > 1 {
+			n, err := w.W.Write(p[:len(p)/2])
+			if err == nil {
+				err = ErrInjected
+			}
+			return n, err
+		}
+		return 0, ErrInjected
+	}
+	return w.W.Write(p)
+}
+
+// CountWrites runs fn against a counting discard sink and reports how
+// many Write calls it made — the bound a crash-matrix test iterates its
+// FailAt fault point over.
+func CountWrites(fn func(w io.Writer) error) (int, error) {
+	cw := &Writer{W: io.Discard}
+	err := fn(cw)
+	return cw.Count, err
+}
+
+// PanicNth returns a function that panics with value on its nth call
+// (1-based). Calls are counted atomically, so the trigger may be shared
+// across worker goroutines: exactly one call panics regardless of how
+// the calls interleave.
+func PanicNth(n int64, value any) func() {
+	var calls atomic.Int64
+	return func() {
+		if calls.Add(1) == n {
+			panic(value)
+		}
+	}
+}
+
+// CancelAfterChecks derives a context from parent that starts reporting
+// cancellation with the nth Err() call — a deterministic stand-in for
+// "the user hits ^C mid-run". Workers poll Err between blocks of work,
+// so the nth poll is a reproducible cancellation point no matter how the
+// polls interleave across goroutines. Done() is closed when the trigger
+// fires. The parent's own cancellation is honored at any time.
+func CancelAfterChecks(parent context.Context, n int64) context.Context {
+	c := &countdownCtx{Context: parent, done: make(chan struct{})}
+	c.remaining.Store(n)
+	return c
+}
+
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (c *countdownCtx) Err() error {
+	if err := c.Context.Err(); err != nil {
+		return err
+	}
+	if c.remaining.Add(-1) <= 0 {
+		c.closeOnce.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+// Nth derives a deterministic trigger index in [1, max] from (seed, i)
+// via SplitMix64, for sampling fault points reproducibly when iterating
+// every single one is too slow (e.g. flipping a subset of the bytes of a
+// large snapshot).
+func Nth(seed uint64, i, max int) int {
+	x := seed + uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x%uint64(max)) + 1
+}

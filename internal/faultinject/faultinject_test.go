@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestWriterFailAtHard(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 2}
+	if _, err := w.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("bbbb"))
+	if err != ErrInjected || n != 0 {
+		t.Fatalf("write 2: n=%d err=%v, want hard fault", n, err)
+	}
+	// Later writes pass through again — the trigger is one-shot.
+	if _, err := w.Write([]byte("cccc")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "aaaacccc" {
+		t.Fatalf("sink holds %q", buf.String())
+	}
+}
+
+func TestWriterFailAtShort(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 1, Short: true}
+	n, err := w.Write([]byte("abcdefgh"))
+	if err != ErrInjected {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 4 || buf.String() != "abcd" {
+		t.Fatalf("torn write passed %d bytes (%q), want half", n, buf.String())
+	}
+}
+
+func TestCountWrites(t *testing.T) {
+	n, err := CountWrites(func(w io.Writer) error {
+		for i := 0; i < 7; i++ {
+			if _, err := w.Write([]byte("x")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil || n != 7 {
+		t.Fatalf("CountWrites = (%d, %v), want (7, nil)", n, err)
+	}
+}
+
+func TestPanicNthSharedAcrossGoroutines(t *testing.T) {
+	boom := PanicNth(50, "blam")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	caught := 0
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							caught++
+							mu.Unlock()
+						}
+					}()
+					boom()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if caught != 1 {
+		t.Fatalf("caught %d panics across 100 calls, want exactly 1", caught)
+	}
+}
+
+func TestCancelAfterChecks(t *testing.T) {
+	ctx := CancelAfterChecks(context.Background(), 3)
+	for i := 0; i < 2; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("check %d: err = %v, want nil", i+1, err)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("Done closed before the trigger")
+		default:
+		}
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("third check: err = %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Done not closed after the trigger fired")
+	}
+	// Stays cancelled.
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after trigger: err = %v", err)
+	}
+}
+
+func TestCancelAfterChecksHonorsParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx := CancelAfterChecks(parent, 1000)
+	cancel()
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the parent's cancellation", err)
+	}
+}
+
+func TestNthDeterministicAndInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		a, b := Nth(42, i, 17), Nth(42, i, 17)
+		if a != b {
+			t.Fatalf("Nth not deterministic at i=%d: %d vs %d", i, a, b)
+		}
+		if a < 1 || a > 17 {
+			t.Fatalf("Nth(42, %d, 17) = %d outside [1, 17]", i, a)
+		}
+	}
+	if Nth(1, 0, 5) == Nth(2, 0, 5) && Nth(1, 1, 5) == Nth(2, 1, 5) && Nth(1, 2, 5) == Nth(2, 2, 5) {
+		t.Fatal("different seeds produced identical triggers at three indices")
+	}
+}

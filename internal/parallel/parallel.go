@@ -21,11 +21,20 @@
 //
 // Work items must not depend on each other; the primitives make no
 // ordering promise between blocks, only that all complete before return.
+//
+// # Fault tolerance
+//
+// The Ctx variants (BlocksCtx, ForCtx, SumCtx, CountCtx) add cooperative
+// cancellation — workers poll ctx.Err() between blocks — and panic
+// isolation: a worker panic is recovered, wrapped with its stack in a
+// *PanicError, and returned as an error instead of crashing the process.
+// See ctx.go for the exact contracts. Resolve needs no context: it is a
+// pure knob normalization.
 package parallel
 
 import (
+	"context"
 	"runtime"
-	"sync"
 )
 
 // Resolve normalizes a Workers knob: any n ≥ 1 is returned unchanged and
@@ -47,35 +56,19 @@ func Resolve(n int) int {
 // fn must confine its writes to state owned by indices in [lo, hi) (or to
 // its own block slot); under that discipline the overall result is
 // identical at any worker count.
+//
+// A panic inside fn is recovered on the worker goroutine and re-raised
+// here as a *PanicError (carrying the original value and the worker's
+// stack), so callers can recover it like any single-goroutine panic
+// instead of the process dying to an unrecoverable goroutine panic. Use
+// BlocksCtx to receive worker panics as errors and to support
+// cancellation.
 func Blocks(workers, n int, fn func(lo, hi, block int)) {
-	if n <= 0 {
-		return
+	if err := BlocksCtx(context.Background(), workers, n, fn); err != nil {
+		// Background is never cancelled, so the only possible error is a
+		// recovered worker panic.
+		panic(err)
 	}
-	workers = Resolve(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		fn(0, n, 0)
-		return
-	}
-	// Near-equal split: the first `rem` blocks get one extra index.
-	size, rem := n/workers, n%workers
-	var wg sync.WaitGroup
-	lo := 0
-	for b := 0; b < workers; b++ {
-		hi := lo + size
-		if b < rem {
-			hi++
-		}
-		wg.Add(1)
-		go func(lo, hi, b int) {
-			defer wg.Done()
-			fn(lo, hi, b)
-		}(lo, hi, b)
-		lo = hi
-	}
-	wg.Wait()
 }
 
 // NumBlocks reports how many blocks Blocks will create for the given

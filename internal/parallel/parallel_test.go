@@ -79,7 +79,7 @@ func TestSumWorkerInvariance(t *testing.T) {
 	for _, n := range []int{1, 100, sumBlock, sumBlock + 1, 3*sumBlock + 17} {
 		vals := make([]float64, n)
 		for i := range vals {
-			vals[i] = rng.NormFloat64() * math.Exp(rng.Float64()*20 - 10)
+			vals[i] = rng.NormFloat64() * math.Exp(rng.Float64()*20-10)
 		}
 		ref := Sum(1, n, func(i int) float64 { return vals[i] })
 		for _, workers := range []int{2, 3, 8, runtime.GOMAXPROCS(0)} {

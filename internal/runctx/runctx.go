@@ -1,0 +1,32 @@
+// Package runctx builds the root context of a CLI run: cancelled cleanly
+// on SIGINT/SIGTERM and, optionally, after a -timeout duration. Every
+// long-running command threads this context into the library's
+// cancellable entry points (PoolOptions.Context, KMeansConfig.Context,
+// Sketcher.AllPositionsCtx), so ^C aborts a pool build or clustering run
+// promptly with no partial snapshot files left behind.
+package runctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// WithSignals returns a context cancelled on the first SIGINT or SIGTERM
+// (a second signal falls back to the default kill behaviour, so a stuck
+// run can still be terminated) and, when timeout > 0, after timeout.
+// The returned stop function releases the signal registration and must
+// be called when the run finishes.
+func WithSignals(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}

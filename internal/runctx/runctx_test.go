@@ -1,0 +1,51 @@
+package runctx
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWithSignalsTimeout(t *testing.T) {
+	ctx, stop := WithSignals(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout never fired")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestWithSignalsNoTimeoutStaysLive(t *testing.T) {
+	ctx, stop := WithSignals(0)
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh context already dead: %v", err)
+	}
+	stop()
+	// After stop the registration is released; the context may or may not
+	// be cancelled by stop itself, but Err must not report a deadline.
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWithSignalsCancelsOnSIGINT(t *testing.T) {
+	ctx, stop := WithSignals(0)
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/atomicio"
 	"repro/internal/table"
 )
 
@@ -91,7 +92,10 @@ func Read(r io.Reader) (*table.Table, error) {
 	rows := binary.LittleEndian.Uint64(header[8:16])
 	cols := binary.LittleEndian.Uint64(header[16:24])
 	flags := binary.LittleEndian.Uint32(header[24:28])
-	if rows == 0 || cols == 0 || rows*cols > maxCells {
+	// Bound each factor before the product: with rows and cols up to
+	// 2^64 the u64 product can wrap past maxCells and admit a header
+	// whose table.New allocation panics.
+	if rows == 0 || cols == 0 || rows > maxCells || cols > maxCells || rows*cols > maxCells {
 		return nil, fmt.Errorf("tabfile: implausible dimensions %dx%d", rows, cols)
 	}
 	body := r
@@ -127,6 +131,15 @@ func WriteFile(path string, t *table.Table, compress bool) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteFileAtomic writes t to path crash-safely: the bytes go to a
+// temporary file in the same directory which is fsynced and renamed over
+// path, so a crash mid-write never leaves a torn table file at path.
+func WriteFileAtomic(path string, t *table.Table, compress bool) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Write(w, t, compress)
+	})
 }
 
 // ReadFile reads a binary table from path.

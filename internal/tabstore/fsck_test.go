@@ -1,0 +1,271 @@
+package tabstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func appendDays(t *testing.T, s *Store, n int) []*table.Table {
+	t.Helper()
+	days := make([]*table.Table, n)
+	for i := range days {
+		days[i] = workload.Random(6, 5+i, 1, uint64(100+i))
+		if err := s.AppendDay(labelOf(i), days[i], i%2 == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return days
+}
+
+func TestAppendRecordsCRCAndLeavesNoTemps(t *testing.T) {
+	s, dir := openStore(t)
+	appendDays(t, s, 2)
+	for i, d := range s.m.Days {
+		if d.CRC32C == 0 {
+			t.Errorf("day %d: no CRC recorded", i)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if atomicio.IsTemp(e.Name()) {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	// A healthy store passes fsck untouched.
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Checked != 2 || rep.Rebuilt {
+		t.Fatalf("healthy store: report %+v", rep)
+	}
+}
+
+func TestOpenCleansStrayTemp(t *testing.T) {
+	s, dir := openStore(t)
+	appendDays(t, s, 1)
+	stray := filepath.Join(dir, "day-0001.tabf.tmp-12345")
+	if err := os.WriteFile(stray, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray temp survived Open")
+	}
+	if s2.NumDays() != 1 {
+		t.Fatalf("NumDays = %d after cleanup", s2.NumDays())
+	}
+}
+
+func TestFsckQuarantinesCorruptDay(t *testing.T) {
+	s, dir := openStore(t)
+	days := appendDays(t, s, 3)
+	// Flip one byte in the middle day's payload.
+	victim := filepath.Join(dir, s.m.Days[1].File)
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x10
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !rep.Rebuilt {
+		t.Fatalf("corruption missed: report %+v", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "day-0001.tabf" {
+		t.Fatalf("quarantined %v", rep.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "day-0001.tabf")); err != nil {
+		t.Fatalf("corrupt file not parked in quarantine: %v", err)
+	}
+
+	// The repaired store reopens healthy with the surviving days intact.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumDays() != 2 {
+		t.Fatalf("NumDays = %d after repair", s2.NumDays())
+	}
+	got0, err := s2.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(got0, days[0], 0) {
+		t.Error("surviving day 0 damaged by repair")
+	}
+	got1, err := s2.Day(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.EqualApprox(got1, days[2], 0) {
+		t.Error("surviving day (was index 2) damaged by repair")
+	}
+	rep2, err := s2.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Fatalf("second fsck still unhappy: %+v", rep2)
+	}
+}
+
+func TestFsckReportsMissingDay(t *testing.T) {
+	s, dir := openStore(t)
+	appendDays(t, s, 2)
+	if err := os.Remove(filepath.Join(dir, s.m.Days[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 1 || !rep.Rebuilt {
+		t.Fatalf("report %+v", rep)
+	}
+	if s.NumDays() != 1 {
+		t.Fatalf("NumDays = %d", s.NumDays())
+	}
+}
+
+func TestFsckEmptiesStoreAndResetsRows(t *testing.T) {
+	s, dir := openStore(t)
+	appendDays(t, s, 1)
+	if err := os.Remove(filepath.Join(dir, s.m.Days[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDays() != 0 || s.Rows() != 0 {
+		t.Fatalf("NumDays=%d Rows=%d after emptying fsck", s.NumDays(), s.Rows())
+	}
+	// A differently-shaped day can now re-establish the row count.
+	if err := s.AppendDay("fresh", workload.Random(9, 4, 1, 7), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 9 {
+		t.Fatalf("Rows = %d after fresh append", s.Rows())
+	}
+}
+
+func TestAppendAfterFsckAvoidsFileCollision(t *testing.T) {
+	s, dir := openStore(t)
+	appendDays(t, s, 3)
+	// Corrupt day 0 so fsck drops it; days 1 and 2 keep their files.
+	victim := filepath.Join(dir, s.m.Days[0].File)
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	// Two days remain but their files are day-0001/day-0002; the next
+	// append must not overwrite either.
+	if err := s.AppendDay("post-fsck", workload.Random(6, 4, 1, 9), false); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range s.m.Days {
+		if seen[d.File] {
+			t.Fatalf("file %s referenced twice", d.File)
+		}
+		seen[d.File] = true
+	}
+	for i := 0; i < s.NumDays(); i++ {
+		if _, err := s.Day(i); err != nil {
+			t.Errorf("day %d unloadable after post-fsck append: %v", i, err)
+		}
+	}
+}
+
+func TestFsckQuarantineDedup(t *testing.T) {
+	s, dir := openStore(t)
+	corruptDay0 := func() {
+		path := filepath.Join(dir, s.m.Days[0].File)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-2] ^= 0x08
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendDays(t, s, 1)
+	corruptDay0()
+	if _, err := s.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	// A second round: new day gets the same file name (day-0000 is free
+	// again), corrupt it too, fsck must not clobber the first quarantined
+	// copy.
+	if err := s.AppendDay("again", workload.Random(6, 5, 1, 50), false); err != nil {
+		t.Fatal(err)
+	}
+	corruptDay0()
+	if _, err := s.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	qdir := filepath.Join(dir, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("quarantine holds %v, want two distinct copies", names)
+	}
+}
+
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte(`{"version":1,"rows":4,"days":[{"label":"a","file":"day-0000.tabf","cols":4}]}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte{})
+	f.Add([]byte(`{"version":1,"rows":-5,"days":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			return
+		}
+		// An accepted manifest must yield a store whose accessors don't
+		// panic, whatever the manifest claimed.
+		_ = s.Rows()
+		_ = s.Labels()
+		_, _ = s.Day(0)
+		_, _ = s.LoadRange(0, s.NumDays())
+		if _, err := s.Fsck(); err != nil {
+			t.Skip("fsck I/O error on fuzz-shaped store")
+		}
+	})
+}

@@ -13,20 +13,33 @@ package tabstore
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicio"
 	"repro/internal/tabfile"
 	"repro/internal/table"
 )
 
 const manifestName = "manifest.json"
 
+// quarantineDir is where Fsck moves corrupt day files, preserving the
+// evidence instead of deleting it.
+const quarantineDir = "quarantine"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 type dayEntry struct {
 	Label      string `json:"label"`
 	File       string `json:"file"`
 	Cols       int    `json:"cols"`
 	Compressed bool   `json:"compressed"`
+	// CRC32C of the day file's full byte contents, recorded at append
+	// time. 0 means "not recorded" (a file from before checksums were
+	// added); Fsck skips the checksum comparison for such days.
+	CRC32C uint32 `json:"crc32c,omitempty"`
 }
 
 type manifest struct {
@@ -42,6 +55,9 @@ type Store struct {
 }
 
 // Open opens (or initializes) a store rooted at dir, which must exist.
+// Stray temporary files from an interrupted atomic write are removed —
+// they were never referenced by the manifest, so dropping them restores
+// the pre-write state.
 func Open(dir string) (*Store, error) {
 	info, err := os.Stat(dir)
 	if err != nil {
@@ -49,6 +65,9 @@ func Open(dir string) (*Store, error) {
 	}
 	if !info.IsDir() {
 		return nil, fmt.Errorf("tabstore: %s is not a directory", dir)
+	}
+	if _, err := atomicio.CleanTemps(dir); err != nil {
+		return nil, fmt.Errorf("tabstore: %w", err)
 	}
 	s := &Store{dir: dir, m: manifest{Version: 1}}
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -72,12 +91,12 @@ func (s *Store) writeManifest() error {
 	if err != nil {
 		return fmt.Errorf("tabstore: encoding manifest: %w", err)
 	}
-	tmp := filepath.Join(s.dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	err = atomicio.WriteFile(filepath.Join(s.dir, manifestName), func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
+	if err != nil {
 		return fmt.Errorf("tabstore: writing manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
-		return fmt.Errorf("tabstore: committing manifest: %w", err)
 	}
 	return nil
 }
@@ -99,6 +118,13 @@ func (s *Store) Labels() []string {
 
 // AppendDay persists t as the next day under the given label. The first
 // appended day fixes the store's row count; later days must match it.
+//
+// The append is crash-safe: the day file is written atomically (temp +
+// fsync + rename) and the manifest — itself replaced atomically — is
+// only updated after the day file is durable, so a crash at any point
+// leaves the store either without the new day or with it complete,
+// never referencing a torn file. The file's CRC32C is recorded in the
+// manifest for fsck.
 func (s *Store) AppendDay(label string, t *table.Table, compress bool) error {
 	if label == "" {
 		return fmt.Errorf("tabstore: empty day label")
@@ -113,12 +139,18 @@ func (s *Store) AppendDay(label string, t *table.Table, compress bool) error {
 	} else if t.Rows() != s.m.Rows {
 		return fmt.Errorf("tabstore: day has %d rows, store has %d", t.Rows(), s.m.Rows)
 	}
-	file := fmt.Sprintf("day-%04d.tabf", len(s.m.Days))
-	if err := tabfile.WriteFile(filepath.Join(s.dir, file), t, compress); err != nil {
+	file := s.nextDayFile()
+	crc := crc32.New(crcTable)
+	err := atomicio.WriteFile(filepath.Join(s.dir, file), func(w io.Writer) error {
+		// The checksum hashes exactly the bytes that reach the file.
+		return tabfile.Write(io.MultiWriter(w, crc), t, compress)
+	})
+	if err != nil {
 		return err
 	}
 	s.m.Days = append(s.m.Days, dayEntry{
 		Label: label, File: file, Cols: t.Cols(), Compressed: compress,
+		CRC32C: crc.Sum32(),
 	})
 	if err := s.writeManifest(); err != nil {
 		// Roll the in-memory state back so the store stays consistent with
@@ -127,6 +159,27 @@ func (s *Store) AppendDay(label string, t *table.Table, compress bool) error {
 		return err
 	}
 	return nil
+}
+
+// nextDayFile picks the first unused day file name. Numbering starts at
+// the current day count but skips names still present in the manifest or
+// on disk — after an fsck quarantined a middle day, naive numbering from
+// len(Days) would collide with a later day's file.
+func (s *Store) nextDayFile() string {
+	inUse := make(map[string]bool, len(s.m.Days))
+	for _, d := range s.m.Days {
+		inUse[d.File] = true
+	}
+	for n := len(s.m.Days); ; n++ {
+		name := fmt.Sprintf("day-%04d.tabf", n)
+		if inUse[name] {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			continue
+		}
+		return name
+	}
 }
 
 // Day loads day i.
@@ -143,6 +196,123 @@ func (s *Store) Day(i int) (*table.Table, error) {
 			i, t.Rows(), t.Cols(), s.m.Rows, s.m.Days[i].Cols)
 	}
 	return t, nil
+}
+
+// FsckReport summarizes what Fsck found and repaired.
+type FsckReport struct {
+	Checked      int      // day entries examined
+	Quarantined  []string // corrupt day files moved to quarantine/ (with reasons in Problems)
+	Missing      []string // day files referenced by the manifest but absent
+	Problems     []string // human-readable description of each defect found
+	TempsRemoved []string // stray temporary files deleted
+	Rebuilt      bool     // the manifest was rewritten to drop bad entries
+}
+
+// OK reports whether the store was fully healthy (nothing quarantined,
+// missing, or cleaned up).
+func (r *FsckReport) OK() bool {
+	return len(r.Quarantined) == 0 && len(r.Missing) == 0 && len(r.TempsRemoved) == 0
+}
+
+// verifyDay fully checks day entry d: the file must exist, match its
+// recorded CRC32C byte-for-byte (when recorded), decode as a table, and
+// match the manifest's dimensions. The returned string describes the
+// defect ("" when healthy); the error is only for I/O trouble reading
+// healthy-looking state.
+func (s *Store) verifyDay(d dayEntry) (string, error) {
+	path := filepath.Join(s.dir, d.File)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return "missing", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("tabstore: reading %s: %w", d.File, err)
+	}
+	if d.CRC32C != 0 {
+		if got := crc32.Checksum(raw, crcTable); got != d.CRC32C {
+			return fmt.Sprintf("CRC32C %08x, manifest says %08x", got, d.CRC32C), nil
+		}
+	}
+	t, err := tabfile.ReadFile(path)
+	if err != nil {
+		return fmt.Sprintf("undecodable: %v", err), nil
+	}
+	if t.Rows() != s.m.Rows || t.Cols() != d.Cols {
+		return fmt.Sprintf("file is %dx%d, manifest says %dx%d",
+			t.Rows(), t.Cols(), s.m.Rows, d.Cols), nil
+	}
+	return "", nil
+}
+
+// Fsck verifies every day file against the manifest — existence, CRC32C
+// (when recorded), decodability, dimensions — moves corrupt files into
+// quarantine/, removes stray temporaries, and rewrites the manifest
+// without the bad entries so the store is consistent again. Healthy days
+// keep their files and labels; the returned report says exactly what was
+// done. Fsck itself only errors on I/O trouble, not on corruption.
+func (s *Store) Fsck() (*FsckReport, error) {
+	rep := &FsckReport{}
+	temps, err := atomicio.CleanTemps(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tabstore: fsck: %w", err)
+	}
+	rep.TempsRemoved = temps
+	keep := s.m.Days[:0:0]
+	for _, d := range s.m.Days {
+		rep.Checked++
+		defect, err := s.verifyDay(d)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case defect == "":
+			keep = append(keep, d)
+		case defect == "missing":
+			rep.Missing = append(rep.Missing, d.File)
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("day %q (%s): file missing", d.Label, d.File))
+		default:
+			if err := s.quarantine(d.File); err != nil {
+				return nil, err
+			}
+			rep.Quarantined = append(rep.Quarantined, d.File)
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("day %q (%s): %s", d.Label, d.File, defect))
+		}
+	}
+	if len(keep) != len(s.m.Days) {
+		s.m.Days = keep
+		if len(keep) == 0 {
+			// An empty store no longer has a fixed row count; the next
+			// append re-establishes it.
+			s.m.Rows = 0
+		}
+		if err := s.writeManifest(); err != nil {
+			return nil, err
+		}
+		rep.Rebuilt = true
+	}
+	return rep, nil
+}
+
+// quarantine moves a corrupt day file into quarantine/, deduplicating
+// the target name if a previous fsck already parked one like it.
+func (s *Store) quarantine(file string) error {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("tabstore: fsck: %w", err)
+	}
+	dst := filepath.Join(qdir, file)
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", file, n))
+	}
+	if err := os.Rename(filepath.Join(s.dir, file), dst); err != nil {
+		return fmt.Errorf("tabstore: quarantining %s: %w", file, err)
+	}
+	return nil
 }
 
 // LoadRange loads days [from, to) stitched into one table along the time

@@ -58,6 +58,25 @@
 // evaluation helpers are safe for concurrent use. Cache and TileSketchSet
 // mutate internal state on use and are single-goroutine only.
 //
+// # Fault tolerance
+//
+// Long-running entry points take an optional context for cooperative
+// cancellation: Sketcher.AllPositionsCtx, PoolOptions.Context (NewPool),
+// and KMeansConfig.Context (KMeans, KMedoids). A cancelled run returns
+// the context's error promptly and publishes no partial state; a run
+// that completes is byte-identical whether or not a context was set. A
+// panic on a worker goroutine is recovered and returned as a
+// *PanicError (carrying the panic value and worker stack) instead of
+// crashing the process.
+//
+// Persistence is crash-safe and self-checking: SavePoolFile and
+// SavePlaneSetFile replace snapshots atomically (temp file + fsync +
+// rename), snapshot sections carry CRC32C checksums verified on load
+// (corruption surfaces as ErrSnapshotChecksum, and files from older
+// versions still load), and Store appends day files atomically with
+// checksums recorded in the manifest — Store.Fsck verifies and repairs
+// a store after a crash or disk corruption.
+//
 // See the examples/ directory for complete programs and DESIGN.md for how
 // each component maps onto the paper.
 package tabmine
@@ -429,7 +448,9 @@ var (
 
 // Sketch persistence: precomputed pools and plane sets save to compact
 // binary files and load without recomputing any correlations (random
-// matrices regenerate from the recorded seeds).
+// matrices regenerate from the recorded seeds). Snapshot sections are
+// CRC32C-checksummed; loads of corrupted files fail with an error
+// wrapping ErrSnapshotChecksum rather than returning wrong distances.
 var (
 	// SavePool serializes a dyadic sketch pool.
 	SavePool = core.SavePool
@@ -439,7 +460,32 @@ var (
 	SavePlaneSet = core.SavePlaneSet
 	// LoadPlaneSet deserializes a plane set saved with SavePlaneSet.
 	LoadPlaneSet = core.LoadPlaneSet
+	// SavePoolFile writes a pool snapshot to a path atomically (temp
+	// file + fsync + rename): a crash or error mid-save leaves any
+	// previous snapshot at the path intact, never a torn file.
+	SavePoolFile = core.SavePoolFile
+	// LoadPoolFile reads a pool snapshot from a path.
+	LoadPoolFile = core.LoadPoolFile
+	// SavePlaneSetFile writes a plane-set snapshot atomically.
+	SavePlaneSetFile = core.SavePlaneSetFile
+	// LoadPlaneSetFile reads a plane-set snapshot from a path.
+	LoadPlaneSetFile = core.LoadPlaneSetFile
 )
+
+// ErrSnapshotChecksum is wrapped by snapshot-load errors caused by a
+// CRC32C mismatch or an internally inconsistent section length — i.e.
+// the file is corrupt, not merely from an unsupported version. Check
+// with errors.Is.
+var ErrSnapshotChecksum = core.ErrChecksum
+
+// PanicError is how a panic on a worker goroutine surfaces from the
+// context-aware entry points (NewPool with a Context, AllPositionsCtx,
+// KMeans/KMedoids with a Context): recovered, wrapped with the worker's
+// stack, and returned as an error. Check with errors.As.
+type PanicError = parallel.PanicError
+
+// StoreFsckReport is what Store.Fsck found and repaired.
+type StoreFsckReport = tabstore.FsckReport
 
 // ChooseK selects the cluster count in [kMin, kMax] maximizing the
 // silhouette coefficient over best-of-restart k-means runs.
