@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo all
+.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo all
 
 all: build test
 
@@ -79,3 +79,31 @@ fsck-demo:
 	fi; \
 	echo '--- fsck after repair (must be clean):'; \
 	$(GO) run ./cmd/tabmine-store -dir "$$d/store" fsck
+
+# End-to-end drill of the resilient query service: start tabmine-serve
+# on a random port with an aggressive degradation threshold, answer an
+# exact query, watch an auto query degrade to the sketch tier, then
+# SIGTERM the server and require a clean drain (exit 0).
+serve-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/query" ./cmd/tabmine-query; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 64 -seed 7 -o "$$d/t.tabf"; \
+	"$$d/serve" -table "$$d/t.tabf" -addr 127.0.0.1:0 -addr-file "$$d/addr" \
+		-k 64 -max-log 3 -tile-rows 8 -tile-cols 8 -clusters 4 -degrade-at 0.01 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo 'ERROR: server never published its address'; kill $$pid; exit 1; }; \
+	srv="http://$$(cat "$$d/addr")"; \
+	echo '--- exact query:'; \
+	out=$$("$$d/query" -server "$$srv" -op distance -a 0,0,8,8 -b 16,16,8,8 -mode exact); \
+	echo "$$out"; echo "$$out" | grep -q '"tier":"exact"'; \
+	echo '--- auto query (must degrade to the sketch tier under load):'; \
+	out=$$("$$d/query" -server "$$srv" -op distance -a 0,0,8,8 -b 16,16,8,8 -mode auto); \
+	echo "$$out"; echo "$$out" | grep -q '"tier":"sketch"'; echo "$$out" | grep -q '"degraded":true'; \
+	echo '--- nearest + assign + health:'; \
+	"$$d/query" -server "$$srv" -op nearest -q 8,8,8,8 -mode sketch; \
+	"$$d/query" -server "$$srv" -op assign -q 8,8,8,8; \
+	"$$d/query" -server "$$srv" -op health; \
+	echo '--- SIGTERM, expecting a clean drain (exit 0):'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo 'serve-demo OK'

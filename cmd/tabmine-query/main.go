@@ -1,0 +1,88 @@
+// Command tabmine-query is the retrying client for tabmine-serve: it
+// issues one distance / nearest / assign query with jittered
+// exponential backoff, a retry budget, and Retry-After handling, so a
+// shed (503) or timed-out (504) query is re-asked automatically until
+// the budget runs out.
+//
+//	tabmine-query -server http://127.0.0.1:8080 -op distance \
+//	    -a 0,0,16,16 -b 32,32,16,16 -mode auto
+//
+// The answer is printed as JSON (including the tier tag, so callers
+// can see whether the answer was degraded and re-ask with -mode exact
+// later). Exit status: 0 on an answer, 1 on failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/runctx"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		base     = flag.String("server", "http://127.0.0.1:8080", "server base URL")
+		op       = flag.String("op", "distance", "operation: distance | nearest | assign | health")
+		rectA    = flag.String("a", "", "first rectangle as row,col,height,width (distance)")
+		rectB    = flag.String("b", "", "second rectangle (distance)")
+		rectQ    = flag.String("q", "", "query rectangle (nearest, assign)")
+		mode     = flag.String("mode", server.ModeAuto, "accuracy mode: auto | exact | sketch")
+		attempts = flag.Int("attempts", 5, "max tries per query")
+		baseWait = flag.Duration("base-delay", 50*time.Millisecond, "backoff base delay")
+		budget   = flag.Duration("budget", 15*time.Second, "total retry-wait budget")
+		seed     = flag.Uint64("seed", 0, "jitter seed (0 = default)")
+		timeout  = flag.Duration("timeout", time.Minute, "overall deadline for the query including retries")
+	)
+	flag.Parse()
+
+	ctx, stop := runctx.WithSignals(*timeout)
+	defer stop()
+
+	c, err := client.New(client.Config{
+		BaseURL: *base, MaxAttempts: *attempts, BaseDelay: *baseWait,
+		Budget: *budget, Seed: *seed,
+	})
+	fatal(err)
+
+	var res any
+	switch *op {
+	case "distance":
+		a, err := server.ParseRect(*rectA)
+		fatal(err)
+		b, err := server.ParseRect(*rectB)
+		fatal(err)
+		res, err = c.Distance(ctx, a, b, *mode)
+		fatal(err)
+	case "nearest":
+		q, err := server.ParseRect(*rectQ)
+		fatal(err)
+		res, err = c.Nearest(ctx, q, *mode)
+		fatal(err)
+	case "assign":
+		q, err := server.ParseRect(*rectQ)
+		fatal(err)
+		res, err = c.Assign(ctx, q, *mode)
+		fatal(err)
+	case "health":
+		var err error
+		res, err = c.Health(ctx)
+		fatal(err)
+	default:
+		fatal(fmt.Errorf("unknown -op %q", *op))
+	}
+	out, err := json.Marshal(res)
+	fatal(err)
+	fmt.Println(string(out))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-query: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command tabmine-serve runs the resilient sketch query service: it
+// loads a table (and optionally a pre-built pool snapshot), builds the
+// serving snapshot — dyadic sketch pool, tile grid, medoid clustering —
+// and answers distance / nearest-tile / cluster-assign queries over
+// HTTP with admission control, per-request deadlines, and graceful
+// degradation to the O(k) sketch tier.
+//
+//	tabmine-serve -table calls.tabf -addr 127.0.0.1:8080 \
+//	    -p 1 -k 128 -tile-rows 16 -tile-cols 16 -clusters 8
+//
+// Lifecycle: SIGHUP re-reads the input files and hot-swaps the
+// snapshot atomically (in-flight requests finish against the old one);
+// SIGINT/SIGTERM drains in-flight requests for up to -grace and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runctx"
+	"repro/internal/server"
+	"repro/internal/tabfile"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		in       = flag.String("table", "", "input table file (required)")
+		loadPool = flag.String("load-pool", "", "load a pool snapshot instead of building one")
+		p        = flag.Float64("p", 1, "Lp exponent in (0, 2]")
+		k        = flag.Int("k", 128, "sketch entries")
+		seed     = flag.Uint64("seed", 42, "sketch + clustering seed")
+		maxLog   = flag.Int("max-log", 0, "cap pooled dyadic sizes at 2^n per axis (0 = every size fitting the table)")
+		tileRows = flag.Int("tile-rows", 16, "grid tile height for nearest/assign")
+		tileCols = flag.Int("tile-cols", 16, "grid tile width for nearest/assign")
+		clusters = flag.Int("clusters", 8, "k-medoids clusters over grid tiles (0 disables /v1/assign)")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+
+		maxInflight = flag.Int("max-inflight", 0, "concurrent query executions (0 = default 8)")
+		maxQueue    = flag.Int("max-queue", 0, "bounded admission queue (0 = default 4x inflight)")
+		reqTimeout  = flag.Duration("timeout", 0, "default per-request deadline (0 = 2s)")
+		degradeAt   = flag.Float64("degrade-at", 0, "occupancy fraction above which auto queries degrade (0 = 0.75)")
+		exactBudget = flag.Duration("exact-budget", 0, "min remaining deadline for the exact path (0 = 20ms)")
+		grace       = flag.Duration("grace", 10*time.Second, "drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tabmine-serve: -table is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "tabmine-serve: ", log.LstdFlags)
+
+	ctx, stop := runctx.WithSignals(0)
+	defer stop()
+
+	build := func(bctx context.Context) (*server.Snapshot, error) {
+		tb, err := tabfile.ReadFile(*in)
+		if err != nil {
+			return nil, err
+		}
+		var pool *core.Pool
+		if *loadPool != "" {
+			pool, err = core.LoadPoolFile(*loadPool)
+		} else {
+			opts := core.DefaultPoolOptions(tb)
+			if *maxLog > 0 {
+				opts.MaxLogRows = min(opts.MaxLogRows, *maxLog)
+				opts.MaxLogCols = min(opts.MaxLogCols, *maxLog)
+			}
+			opts.Workers = *workers
+			opts.Context = bctx
+			pool, err = core.NewPool(tb, *p, *k, *seed, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return server.BuildSnapshot(bctx, tb, pool, server.SnapshotConfig{
+			TileRows: *tileRows, TileCols: *tileCols,
+			Clusters: *clusters, Seed: *seed, Workers: *workers,
+		})
+	}
+
+	t0 := time.Now()
+	snap, err := build(ctx)
+	fatal(err)
+	logger.Printf("snapshot ready in %v: %dx%d table, %d tiles, %d clusters",
+		time.Since(t0).Round(time.Millisecond),
+		snap.Table().Rows(), snap.Table().Cols(), snap.NumTiles(), snap.Clusters())
+
+	srv, err := server.New(snap, server.Config{
+		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
+		DefaultTimeout: *reqTimeout, DegradeAt: *degradeAt,
+		ExactBudget: *exactBudget, Workers: *workers,
+		Logf: logger.Printf,
+	})
+	fatal(err)
+
+	l, err := net.Listen("tcp", *addr)
+	fatal(err)
+	logger.Printf("listening on http://%s", l.Addr())
+	if *addrFile != "" {
+		fatal(os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644))
+	}
+
+	// SIGHUP → rebuild from the input files and swap atomically. A
+	// failed rebuild keeps serving the old snapshot.
+	hup, stopHup := runctx.Hangup()
+	defer stopHup()
+	go func() {
+		for range hup {
+			logger.Printf("SIGHUP: reloading snapshot from %s", *in)
+			ns, err := build(ctx)
+			if err != nil {
+				logger.Printf("reload failed, keeping current snapshot: %v", err)
+				continue
+			}
+			srv.Swap(ns)
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err) // listener failure before any signal
+	case <-ctx.Done():
+	}
+	logger.Printf("draining (grace %v)", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	logger.Printf("drained cleanly")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,276 @@
+// Package client is the retrying counterpart of internal/server: a
+// sketch-query client with jittered exponential backoff, a retry
+// budget, and Retry-After handling, so callers ride out load shedding
+// (503), deadline misses (504), and transient transport failures
+// without hand-rolled loops — and without retry storms: every delay is
+// jittered, and the total time spent waiting is capped.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+// Config tunes the retry policy. The zero value (plus BaseURL) gets
+// sensible defaults from New.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil builds a dedicated http.Client.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per query, first included (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: the nth retry waits
+	// about BaseDelay·2ⁿ, jittered to [½,1]× (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait (default 2s).
+	MaxDelay time.Duration
+	// Budget caps the total time spent waiting between retries across
+	// one query — the retry budget (default 15s).
+	Budget time.Duration
+	// RetryAfterCap bounds how long a server Retry-After hint is
+	// honored (default 5s).
+	RetryAfterCap time.Duration
+	// Seed drives the backoff jitter deterministically (0 means 1).
+	Seed uint64
+	// Sleep is the wait primitive, injectable for tests. nil sleeps on
+	// a timer, returning early with ctx's error on cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Config) setDefaults() {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 50 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.Budget <= 0 {
+		c.Budget = 15 * time.Second
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ErrBudgetExhausted wraps the final attempt's error when the retry
+// budget (attempts or waiting time) runs out. Check with errors.Is.
+var ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// Client issues queries with retries. Safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Client for cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL required")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("client: bad BaseURL: %w", err)
+	}
+	cfg.setDefaults()
+	return &Client{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x636c69656e74)),
+	}, nil
+}
+
+// Distance queries /v1/distance for rectangles a and b. mode is one of
+// server.ModeAuto/ModeExact/ModeSketch ("" means auto).
+func (c *Client) Distance(ctx context.Context, a, b table.Rect, mode string) (*server.DistanceResult, error) {
+	vals := url.Values{"a": {server.FormatRect(a)}, "b": {server.FormatRect(b)}}
+	var res server.DistanceResult
+	if err := c.do(ctx, "/v1/distance", vals, mode, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Nearest queries /v1/nearest for the grid tile closest to q.
+func (c *Client) Nearest(ctx context.Context, q table.Rect, mode string) (*server.NearestResult, error) {
+	vals := url.Values{"q": {server.FormatRect(q)}}
+	var res server.NearestResult
+	if err := c.do(ctx, "/v1/nearest", vals, mode, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Assign queries /v1/assign for q's cluster.
+func (c *Client) Assign(ctx context.Context, q table.Rect, mode string) (*server.AssignResult, error) {
+	vals := url.Values{"q": {server.FormatRect(q)}}
+	var res server.AssignResult
+	if err := c.do(ctx, "/v1/assign", vals, mode, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Health queries /healthz (no retries beyond the shared policy).
+func (c *Client) Health(ctx context.Context) (*server.Health, error) {
+	var res server.Health
+	if err := c.do(ctx, "/healthz", url.Values{}, "", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// do runs the retry loop around one GET query.
+func (c *Client) do(ctx context.Context, path string, vals url.Values, mode string, out any) error {
+	if mode != "" {
+		vals.Set("mode", mode)
+	}
+	u := c.cfg.BaseURL + path
+	if enc := vals.Encode(); enc != "" {
+		u += "?" + enc
+	}
+
+	var waited time.Duration
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt, lastErr)
+			if waited+delay > c.cfg.Budget {
+				return fmt.Errorf("%w after %d attempts (%v waited): %w",
+					ErrBudgetExhausted, attempt, waited, lastErr)
+			}
+			if err := c.cfg.Sleep(ctx, delay); err != nil {
+				return fmt.Errorf("client: %w (last attempt: %w)", err, lastErr)
+			}
+			waited += delay
+		}
+		retryable, err := c.attempt(ctx, u, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: %w (last attempt: %w)", ctx.Err(), lastErr)
+		}
+	}
+	return fmt.Errorf("%w after %d attempts (%v waited): %w",
+		ErrBudgetExhausted, c.cfg.MaxAttempts, waited, lastErr)
+}
+
+// retryAfterError carries a server Retry-After hint through the loop.
+type retryAfterError struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// attempt performs one HTTP round trip. retryable reports whether the
+// failure class can succeed on retry (shed, timeout, transport).
+func (c *Client) attempt(ctx context.Context, u string, out any) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return true, err // transport errors (refused, reset) are retryable
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return true, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return false, json.Unmarshal(body, out)
+	}
+	msg := string(body)
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	herr := fmt.Errorf("client: server answered %d: %s", resp.StatusCode, msg)
+	// Retryable failure classes: shedding (503), deadline misses (504),
+	// rate limiting (429), and other transient 5xx (the flaky-nth-request
+	// fault). 4xx means the query itself is wrong — retrying cannot help.
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			return true, &retryAfterError{err: herr, hint: ra}
+		}
+		return true, herr
+	}
+	return false, herr
+}
+
+// backoff computes the jittered wait before retry n (1-based), honoring
+// a server hint when one came with the last failure.
+func (c *Client) backoff(n int, lastErr error) time.Duration {
+	d := c.cfg.BaseDelay << (n - 1)
+	if d > c.cfg.MaxDelay || d <= 0 {
+		d = c.cfg.MaxDelay
+	}
+	// Equal jitter: [½,1]× spreads synchronized retriers while keeping
+	// the wait long enough to matter.
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int64N(int64(d/2)+1))
+	c.mu.Unlock()
+	var rae *retryAfterError
+	if errors.As(lastErr, &rae) {
+		hint := min(rae.hint, c.cfg.RetryAfterCap)
+		if hint > d {
+			d = hint
+		}
+	}
+	return d
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}

@@ -1,0 +1,290 @@
+// White-box tests of the retry policy: backoff shape, Retry-After
+// handling, budgets, and which failure classes retry at all. Servers
+// are plain httptest handlers; flaky behavior comes from
+// faultinject.FailNth, so every scenario replays identically.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+func okDistance(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(server.DistanceResult{Distance: 42, Tier: server.TierSketch})
+}
+
+// instant is a Sleep hook that never actually waits.
+func instant(context.Context, time.Duration) error { return nil }
+
+var testRects = struct{ a, b table.Rect }{
+	a: table.Rect{R0: 0, C0: 0, Rows: 4, Cols: 4},
+	b: table.Rect{R0: 4, C0: 4, Rows: 4, Cols: 4},
+}
+
+func TestRetryAfterHintHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c, err := New(Config{
+		BaseURL: ts.URL, BaseDelay: time.Millisecond, Budget: time.Hour, Seed: 1,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if res.Distance != 42 {
+		t.Errorf("distance %v, want 42", res.Distance)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	// The 1s server hint dominates the millisecond-scale backoff: both
+	// waits are exactly the hint.
+	if len(slept) != 2 || slept[0] != time.Second || slept[1] != time.Second {
+		t.Errorf("sleeps %v, want [1s 1s] (Retry-After hint)", slept)
+	}
+}
+
+func TestRetryAfterHintCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c, err := New(Config{
+		BaseURL: ts.URL, BaseDelay: time.Millisecond, Budget: time.Hour,
+		RetryAfterCap: 2 * time.Second,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Distance(context.Background(), testRects.a, testRects.b, ""); err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Errorf("sleeps %v, want the hint capped to [2s]", slept)
+	}
+}
+
+func TestFlakyServerErrorRetried(t *testing.T) {
+	trig := faultinject.FailNth(1)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if err := trig(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Distance(context.Background(), testRects.a, testRects.b, ""); err != nil {
+		t.Fatalf("Distance through flaky 500: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2 (one injected failure)", calls.Load())
+	}
+}
+
+func TestTerminalStatusNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad rect"})
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if err == nil || !strings.Contains(err.Error(), "bad rect") {
+		t.Fatalf("err %v, want the server's error message", err)
+	}
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Error("a 400 is terminal, not a budget exhaustion")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MaxAttempts: 3, Budget: time.Hour, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err %v, want ErrBudgetExhausted", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want exactly MaxAttempts=3", calls.Load())
+	}
+}
+
+func TestWaitBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	// Every backoff waits at least BaseDelay/2 = 50ms, so a 120ms budget
+	// admits at most two retries regardless of jitter.
+	c, err := New(Config{
+		BaseURL: ts.URL, MaxAttempts: 100,
+		BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+		Budget: 120 * time.Millisecond, Sleep: instant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestTransportErrorRetried(t *testing.T) {
+	// A listener that is already closed: every attempt is a connection
+	// error, which is retryable, until attempts run out.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c, err := New(Config{BaseURL: url, MaxAttempts: 2, Budget: time.Hour, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Health(context.Background())
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err %v, want ErrBudgetExhausted wrapping the transport error", err)
+	}
+}
+
+func TestContextCancelsSleep(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	// Default Sleep + a 10s backoff: the 20ms context must cut the wait.
+	c, err := New(Config{BaseURL: ts.URL, BaseDelay: 10 * time.Second, Budget: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Distance(ctx, testRects.a, testRects.b, "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, the sleep was not cut short", elapsed)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://127.0.0.1:0", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ds []time.Duration
+		for n := 1; n <= 6; n++ {
+			ds = append(ds, c.backoff(n, nil))
+		}
+		return ds
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	other := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+	// Shape: each wait is in [base/2, base] for base = BaseDelay*2^(n-1)
+	// capped at MaxDelay.
+	cfg := Config{}
+	cfg.setDefaults()
+	for i, d := range a {
+		base := cfg.BaseDelay << i
+		if base > cfg.MaxDelay {
+			base = cfg.MaxDelay
+		}
+		if d < base/2 || d > base {
+			t.Errorf("retry %d wait %v outside [%v, %v]", i+1, d, base/2, base)
+		}
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty BaseURL: want error")
+	}
+	if _, err := New(Config{BaseURL: "http://\x7f"}); err == nil {
+		t.Error("unparsable BaseURL: want error")
+	}
+}

@@ -175,6 +175,27 @@ func (pl *Pool) K() int { return pl.k }
 // NumSizes returns how many dyadic sizes the pool holds.
 func (pl *Pool) NumSizes() int { return len(pl.entries) }
 
+// TableDims returns the dimensions of the table the pool was built over,
+// so holders of a loaded snapshot can validate query rectangles without
+// the original table.
+func (pl *Pool) TableDims() (rows, cols int) { return pl.rows, pl.cols }
+
+// refSketcher returns a deterministic representative sketcher: the
+// distance estimator depends only on (p, k, scale, estimator), never on
+// the tile size or random matrices, so any one of the pool's sketchers
+// can compare sketches of any rectangle size.
+func (pl *Pool) refSketcher() *Sketcher {
+	return pl.entries[[2]int{pl.opts.MinLogRows, pl.opts.MinLogCols}][0].Sketcher()
+}
+
+// SketchDist returns a distance function over pool sketches (as returned
+// by Sketch for equal-size rectangles): O(k) per call, safe for
+// concurrent use, allocation-free on the hot path. It is the DistFunc to
+// hand to clustering when the points are pool sketches.
+func (pl *Pool) SketchDist() func(a, b []float64) float64 {
+	return pl.refSketcher().ConcurrentDist()
+}
+
 // poolSketcherSeed derives the deterministic per-(size, set) seed; saved
 // pools rely on this derivation staying stable across versions.
 func poolSketcherSeed(seed uint64, i, j, s int) uint64 {

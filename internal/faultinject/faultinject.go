@@ -102,6 +102,106 @@ func (c *countdownCtx) Err() error {
 
 func (c *countdownCtx) Done() <-chan struct{} { return c.done }
 
+// Gate is a deterministic stand-in for handler latency: every Wait call
+// blocks until Open is called, and AwaitArrivals lets the orchestrating
+// test block until a known number of goroutines are parked inside Wait.
+// Saturating a server this way is replayable — "N requests are in
+// flight" is a synchronization fact, not a sleep-and-hope race — so
+// overload tests assert exact shed behavior instead of load-test odds.
+type Gate struct {
+	mu      sync.Mutex
+	arrived int
+	changed chan struct{} // closed+replaced on each arrival
+	open    chan struct{}
+}
+
+// NewGate returns a closed gate: Wait blocks until Open.
+func NewGate() *Gate {
+	return &Gate{changed: make(chan struct{}), open: make(chan struct{})}
+}
+
+// Wait parks the caller until the gate opens. Calls after Open return
+// immediately.
+func (g *Gate) Wait() {
+	g.mu.Lock()
+	g.arrived++
+	close(g.changed)
+	g.changed = make(chan struct{})
+	g.mu.Unlock()
+	<-g.open
+}
+
+// Arrived reports how many Wait calls have been made so far.
+func (g *Gate) Arrived() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.arrived
+}
+
+// AwaitArrivals blocks until at least n Wait calls have been made —
+// the deterministic "the server now holds n requests" checkpoint.
+func (g *Gate) AwaitArrivals(n int) {
+	for {
+		g.mu.Lock()
+		if g.arrived >= n {
+			g.mu.Unlock()
+			return
+		}
+		ch := g.changed
+		g.mu.Unlock()
+		<-ch
+	}
+}
+
+// Open releases every current and future Wait call. Opening twice is a
+// no-op.
+func (g *Gate) Open() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+	default:
+		close(g.open)
+	}
+}
+
+// FailNth returns a trigger that fails with ErrInjected on exactly the
+// nth call (1-based, counted atomically across goroutines) — the
+// flaky-nth-request fault for retry-path tests. n ≤ 0 never fails.
+func FailNth(n int64) func() error {
+	var calls atomic.Int64
+	return func() error {
+		if n > 0 && calls.Add(1) == n {
+			return ErrInjected
+		}
+		return nil
+	}
+}
+
+// SlowReader models a slow client draining a response: it serves at most
+// Chunk bytes per Read (default 1) and invokes PerRead between chunks,
+// which tests wire to a Gate or counter to hold server-side writes open
+// deterministically.
+type SlowReader struct {
+	R       io.Reader
+	Chunk   int
+	PerRead func()
+}
+
+func (s *SlowReader) Read(p []byte) (int, error) {
+	if s.PerRead != nil {
+		s.PerRead()
+	}
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	return s.R.Read(p)
+}
+
 // Nth derives a deterministic trigger index in [1, max] from (seed, i)
 // via SplitMix64, for sampling fault points reproducibly when iterating
 // every single one is too slow (e.g. flipping a subset of the bytes of a

@@ -132,3 +132,70 @@ func TestNthDeterministicAndInRange(t *testing.T) {
 		t.Fatal("different seeds produced identical triggers at three indices")
 	}
 }
+
+func TestGateHoldsUntilOpen(t *testing.T) {
+	g := NewGate()
+	const n = 4
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			g.Wait()
+			done <- struct{}{}
+		}()
+	}
+	g.AwaitArrivals(n)
+	if got := g.Arrived(); got != n {
+		t.Fatalf("Arrived = %d, want %d", got, n)
+	}
+	select {
+	case <-done:
+		t.Fatal("a waiter got through a closed gate")
+	default:
+	}
+	g.Open()
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	// After Open, Wait no longer blocks and double-Open is harmless.
+	g.Open()
+	g.Wait()
+}
+
+func TestFailNth(t *testing.T) {
+	trigger := FailNth(3)
+	for i := 1; i <= 5; i++ {
+		err := trigger()
+		if (i == 3) != errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	never := FailNth(0)
+	for i := 0; i < 10; i++ {
+		if err := never(); err != nil {
+			t.Fatalf("FailNth(0) fired: %v", err)
+		}
+	}
+}
+
+func TestSlowReader(t *testing.T) {
+	payload := "hello, world"
+	reads := 0
+	sr := &SlowReader{R: bytes.NewReader([]byte(payload)), PerRead: func() { reads++ }}
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("read %q", got)
+	}
+	// One byte per Read: at least len(payload) PerRead invocations.
+	if reads < len(payload) {
+		t.Fatalf("%d reads for %d bytes", reads, len(payload))
+	}
+	sr2 := &SlowReader{R: bytes.NewReader([]byte(payload)), Chunk: 4}
+	buf := make([]byte, 64)
+	n, err := sr2.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("chunked read n=%d err=%v, want 4", n, err)
+	}
+}

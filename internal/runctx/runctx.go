@@ -14,6 +14,17 @@ import (
 	"time"
 )
 
+// Hangup returns a channel delivering SIGHUP notifications — the
+// conventional "reload your configuration" signal, which tabmine-serve
+// maps to an atomic snapshot swap. The stop function releases the
+// registration. The channel is buffered so a signal arriving while the
+// receiver is mid-reload coalesces instead of being lost.
+func Hangup() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	return ch, func() { signal.Stop(ch) }
+}
+
 // WithSignals returns a context cancelled on the first SIGINT or SIGTERM
 // (a second signal falls back to the default kill behaviour, so a stuck
 // run can still be terminated) and, when timeout > 0, after timeout.

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Wire contract shared by the server handlers and internal/client. All
+// response bodies are deterministic functions of (snapshot, query): no
+// timestamps or per-request identifiers, so the drain tests can assert
+// byte-identical answers before and during shutdown.
+
+// Tiers tag every answer with the accuracy path that produced it.
+const (
+	// TierExact answers from the raw table: the exact Lp distance.
+	TierExact = "exact"
+	// TierSketch answers from O(k) compound dyadic sketches — the
+	// 4(1+ε)-approximation of Theorem 6 — used when requested, when the
+	// deadline budget is too tight for the exact path, or when the
+	// server is saturated.
+	TierSketch = "sketch"
+)
+
+// Degradation reasons reported alongside a sketch-tier answer to an
+// "auto" query, so clients know whether re-asking later may yield an
+// exact answer.
+const (
+	// ReasonRequested: the client asked for the sketch tier itself.
+	ReasonRequested = "requested"
+	// ReasonLoad: admission occupancy was above the degradation
+	// threshold, so the exact path was skipped to shed work.
+	ReasonLoad = "load"
+	// ReasonDeadline: the remaining request deadline could not fit the
+	// exact path (up front, or it timed out mid-computation and the
+	// O(k) sketch answer was substituted).
+	ReasonDeadline = "deadline"
+)
+
+// Modes select the accuracy path of a query.
+const (
+	// ModeAuto (the default) answers exactly when load and deadline
+	// allow, degrading to the sketch tier otherwise.
+	ModeAuto = "auto"
+	// ModeExact insists on the exact tier; under a tight deadline the
+	// request fails with 504 instead of degrading.
+	ModeExact = "exact"
+	// ModeSketch asks for the O(k) sketch tier outright.
+	ModeSketch = "sketch"
+)
+
+// DistanceResult answers /v1/distance.
+type DistanceResult struct {
+	Distance float64 `json:"distance"`
+	Tier     string  `json:"tier"`
+	Degraded bool    `json:"degraded"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// NearestResult answers /v1/nearest: the grid tile nearest to the query
+// rectangle (excluding the query's own position).
+type NearestResult struct {
+	Tile     int     `json:"tile"` // grid tile index
+	Rect     string  `json:"rect"` // the tile as "row,col,height,width"
+	Distance float64 `json:"distance"`
+	Tier     string  `json:"tier"`
+	Degraded bool    `json:"degraded"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// AssignResult answers /v1/assign: the cluster whose medoid tile is
+// nearest to the query rectangle.
+type AssignResult struct {
+	Cluster  int     `json:"cluster"`
+	Medoid   int     `json:"medoid"` // grid tile index of the cluster medoid
+	Distance float64 `json:"distance"`
+	Tier     string  `json:"tier"`
+	Degraded bool    `json:"degraded"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// Health answers /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Tiles    int    `json:"tiles"`
+	Clusters int    `json:"clusters"`
+	Reloads  int64  `json:"reloads"` // snapshot swaps since startup
+}
+
+// errorBody is the JSON shape of every non-2xx answer.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// FormatRect renders a rectangle in the query-parameter encoding
+// "row,col,height,width" accepted by ParseRect.
+func FormatRect(r table.Rect) string {
+	return fmt.Sprintf("%d,%d,%d,%d", r.R0, r.C0, r.Rows, r.Cols)
+}
+
+// ParseRect parses the "row,col,height,width" encoding.
+func ParseRect(s string) (table.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return table.Rect{}, fmt.Errorf("rect %q: want row,col,height,width", s)
+	}
+	vals := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return table.Rect{}, fmt.Errorf("rect %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return table.Rect{R0: vals[0], C0: vals[1], Rows: vals[2], Cols: vals[3]}, nil
+}

@@ -1,0 +1,37 @@
+package server
+
+import "expvar"
+
+// Process-global serving counters, published on /debug/vars. expvar
+// registration is once-per-process, so the counters aggregate across
+// server instances (tests assert deltas, not absolutes).
+var (
+	mRequests = expvar.NewInt("tabmine_requests_total")
+	mServed   = expvar.NewInt("tabmine_requests_served")
+	mShed     = expvar.NewInt("tabmine_requests_shed")
+	mDegraded = expvar.NewInt("tabmine_requests_degraded")
+	mTimedOut = expvar.NewInt("tabmine_requests_timedout")
+	mReloads  = expvar.NewInt("tabmine_snapshot_reloads")
+)
+
+// Stats is a point-in-time read of the serving counters.
+type Stats struct {
+	Requests int64 // queries received (before admission)
+	Served   int64 // 2xx answers
+	Shed     int64 // 503s from a full admission queue
+	Degraded int64 // sketch-tier answers to auto queries (load/deadline)
+	TimedOut int64 // 504s (deadline expired queued or mid-computation)
+	Reloads  int64 // snapshot swaps
+}
+
+// ReadStats samples the process-global counters.
+func ReadStats() Stats {
+	return Stats{
+		Requests: mRequests.Value(),
+		Served:   mServed.Value(),
+		Shed:     mShed.Value(),
+		Degraded: mDegraded.Value(),
+		TimedOut: mTimedOut.Value(),
+		Reloads:  mReloads.Value(),
+	}
+}

@@ -1,0 +1,437 @@
+// Package server is the resilient sketch query service: an HTTP server
+// answering distance / nearest-tile / cluster-assign queries against an
+// immutable Snapshot (table + dyadic sketch pool), designed around the
+// paper's operational premise that an approximate answer now beats an
+// exact answer late.
+//
+// Robustness is the design center:
+//
+//   - Admission control: at most MaxInflight queries execute while at
+//     most MaxQueue wait; beyond that the server sheds immediately with
+//     503 + Retry-After instead of queueing unboundedly.
+//   - Deadlines: every request carries a budget (DefaultTimeout or the
+//     timeout_ms parameter, capped by MaxTimeout) propagated as a
+//     context into the parallel exact-computation paths.
+//   - Graceful degradation: "auto" queries answer from O(k) compound
+//     dyadic sketches — Theorem 6's 4(1+ε) tier — when the server is
+//     saturated or the deadline budget cannot fit the exact path, and
+//     every answer is tagged with the tier that produced it.
+//   - Lifecycle: snapshots swap atomically (Swap, wired to SIGHUP by
+//     tabmine-serve) and Shutdown drains in-flight requests.
+//
+// Answers are deterministic functions of (snapshot, query): the same
+// query returns byte-identical bytes at any worker count, load level,
+// or drain state.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the serving policy. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// MaxInflight bounds concurrently executing queries (default 8).
+	MaxInflight int
+	// MaxQueue bounds queries waiting for an execution slot; arrivals
+	// beyond MaxInflight+MaxQueue shed with 503 (default 4×MaxInflight).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no timeout_ms parameter (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 30s).
+	MaxTimeout time.Duration
+	// DegradeAt is the admission occupancy fraction — (executing +
+	// queued) / (MaxInflight + MaxQueue) — at or above which "auto"
+	// queries skip the exact path (default 0.75).
+	DegradeAt float64
+	// ExactBudget is the minimum remaining deadline for attempting the
+	// exact path on an "auto" query (default 20ms).
+	ExactBudget time.Duration
+	// RetryAfter is the hint sent with 503 responses (default 1s;
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Workers bounds the parallel fan-out of exact computations per
+	// request. 0 means all cores; answers are identical regardless.
+	Workers int
+	// ReadHeaderTimeout and WriteTimeout bound slow clients (defaults
+	// 10s and 30s).
+	ReadHeaderTimeout time.Duration
+	WriteTimeout      time.Duration
+	// Hook, when non-nil, runs at the start of query execution (inside
+	// the admission slot) with the operation name. A non-nil error
+	// fails the request with 500. Tests wire it to faultinject (Gate
+	// for deterministic saturation, FailNth for flaky requests); leave
+	// nil in production.
+	Hook func(op string) error
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DegradeAt <= 0 {
+		c.DegradeAt = 0.75
+	}
+	if c.ExactBudget <= 0 {
+		c.ExactBudget = 20 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server serves sketch queries over one atomically swappable Snapshot.
+type Server struct {
+	cfg     Config
+	snap    atomic.Pointer[Snapshot]
+	sem     chan struct{} // execution slots, cap MaxInflight
+	queued  atomic.Int64
+	reloads atomic.Int64
+	mux     *http.ServeMux
+	hs      *http.Server
+}
+
+// New builds a Server answering from snap under cfg's policy.
+func New(snap *Snapshot, cfg Config) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("server: nil snapshot")
+	}
+	cfg.setDefaults()
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s.snap.Store(snap)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/v1/distance", s.wrap("distance", s.opDistance))
+	s.mux.HandleFunc("/v1/nearest", s.wrap("nearest", s.opNearest))
+	s.mux.HandleFunc("/v1/assign", s.wrap("assign", s.opAssign))
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+	}
+	return s, nil
+}
+
+// Handler exposes the route table (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Swap atomically replaces the serving snapshot: requests already
+// executing finish against the old one, new requests see the new one.
+// This is the SIGHUP hot-reload path.
+func (s *Server) Swap(snap *Snapshot) {
+	s.snap.Store(snap)
+	s.reloads.Add(1)
+	mReloads.Add(1)
+	s.cfg.Logf("server: snapshot swapped (%d tiles, %d clusters)", snap.NumTiles(), snap.Clusters())
+}
+
+// Queued reports how many requests are waiting for an execution slot.
+func (s *Server) Queued() int { return int(s.queued.Load()) }
+
+// Inflight reports how many requests hold execution slots.
+func (s *Server) Inflight() int { return len(s.sem) }
+
+// Serve accepts connections on l until Shutdown (returning
+// http.ErrServerClosed) or a listener error.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown drains the server: the listener closes immediately, in-flight
+// requests run to completion (or until ctx expires), then Serve returns.
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+// admission outcomes
+type admitStatus int
+
+const (
+	admitOK admitStatus = iota
+	admitShed
+	admitTimeout
+)
+
+// admit acquires an execution slot, waiting in the bounded queue when
+// all slots are busy. Returns a release function on admitOK.
+func (s *Server) admit(ctx context.Context) (func(), admitStatus) {
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, admitOK
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, admitShed
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return s.release, admitOK
+	case <-ctx.Done():
+		return nil, admitTimeout
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// occupancy is the admission-pressure fraction driving load-based
+// degradation.
+func (s *Server) occupancy() float64 {
+	used := len(s.sem) + int(s.queued.Load())
+	return float64(used) / float64(s.cfg.MaxInflight+s.cfg.MaxQueue)
+}
+
+// opFunc executes one query against a snapshot. mode is the validated
+// accuracy mode; degrade reports whether an auto query should start on
+// the sketch tier and why.
+type opFunc func(ctx context.Context, sn *Snapshot, vals url.Values, mode, reason string) (any, error)
+
+// wrap applies the shared serving policy — counting, deadline,
+// admission, degradation tier choice, fault hook, error mapping —
+// around an operation.
+func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(1)
+
+		timeout := s.cfg.DefaultTimeout
+		if tms := r.URL.Query().Get("timeout_ms"); tms != "" {
+			v, err := strconv.Atoi(tms)
+			if err != nil || v <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout_ms %q", tms))
+				return
+			}
+			timeout = min(time.Duration(v)*time.Millisecond, s.cfg.MaxTimeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		release, status := s.admit(ctx)
+		switch status {
+		case admitShed:
+			mShed.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable, "server saturated, retry later")
+			return
+		case admitTimeout:
+			mTimedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline expired while queued")
+			return
+		}
+		defer release()
+
+		if s.cfg.Hook != nil {
+			if err := s.cfg.Hook(op); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		}
+
+		mode := r.URL.Query().Get("mode")
+		if mode == "" {
+			mode = ModeAuto
+		}
+		if mode != ModeAuto && mode != ModeExact && mode != ModeSketch {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad mode %q", mode))
+			return
+		}
+		reason := ""
+		if mode == ModeAuto {
+			// Tier choice: shed accuracy, not availability. Saturation
+			// or a deadline too small for the exact path both route the
+			// query to the O(k) sketch tier up front.
+			if s.occupancy() >= s.cfg.DegradeAt {
+				mode, reason = ModeSketch, ReasonLoad
+			} else if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.ExactBudget {
+				mode, reason = ModeSketch, ReasonDeadline
+			}
+		} else if mode == ModeSketch {
+			reason = ReasonRequested
+		}
+		if reason == ReasonLoad || reason == ReasonDeadline {
+			mDegraded.Add(1)
+		}
+
+		res, err := fn(ctx, s.snap.Load(), r.URL.Query(), mode, reason)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				mTimedOut.Add(1)
+				writeError(w, http.StatusGatewayTimeout, "deadline expired mid-computation")
+			case errors.Is(err, errNoClusters):
+				writeError(w, http.StatusNotFound, err.Error())
+			default:
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		mServed.Add(1)
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// sketchFallback reports whether an exact-tier failure should be
+// retried on the sketch tier: the deadline expired mid-computation on
+// an auto query, and the O(k) sketch path can still answer within a
+// detached (cancellation-free) context.
+func sketchFallback(ctx context.Context, err error, reason string) (context.Context, bool) {
+	if reason != "" { // not an auto-exact attempt
+		return nil, false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return context.WithoutCancel(ctx), true
+	}
+	return nil, false
+}
+
+func (s *Server) opDistance(ctx context.Context, sn *Snapshot, vals url.Values, mode, reason string) (any, error) {
+	a, err := ParseRect(vals.Get("a"))
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseRect(vals.Get("b"))
+	if err != nil {
+		return nil, err
+	}
+	if err := sn.validRect(a); err != nil {
+		return nil, err
+	}
+	if err := sn.validRect(b); err != nil {
+		return nil, err
+	}
+	if mode == ModeExact || (mode == ModeAuto && reason == "") {
+		d, err := sn.ExactDistance(ctx, a, b, s.cfg.Workers)
+		if err == nil {
+			return &DistanceResult{Distance: d, Tier: TierExact}, nil
+		}
+		if _, ok := sketchFallback(ctx, err, reason); mode == ModeExact || !ok {
+			return nil, err
+		}
+		reason = ReasonDeadline
+		mDegraded.Add(1)
+	}
+	d, err := sn.SketchDistance(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &DistanceResult{
+		Distance: d, Tier: TierSketch,
+		Degraded: reason == ReasonLoad || reason == ReasonDeadline, Reason: reason,
+	}, nil
+}
+
+func (s *Server) opNearest(ctx context.Context, sn *Snapshot, vals url.Values, mode, reason string) (any, error) {
+	q, err := ParseRect(vals.Get("q"))
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeExact || (mode == ModeAuto && reason == "") {
+		idx, d, err := sn.ExactNearest(ctx, q, s.cfg.Workers)
+		if err == nil {
+			return &NearestResult{Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierExact}, nil
+		}
+		fctx, ok := sketchFallback(ctx, err, reason)
+		if mode == ModeExact || !ok {
+			return nil, err
+		}
+		ctx, reason = fctx, ReasonDeadline
+		mDegraded.Add(1)
+	}
+	idx, d, err := sn.SketchNearest(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &NearestResult{
+		Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierSketch,
+		Degraded: reason == ReasonLoad || reason == ReasonDeadline, Reason: reason,
+	}, nil
+}
+
+func (s *Server) opAssign(ctx context.Context, sn *Snapshot, vals url.Values, mode, reason string) (any, error) {
+	q, err := ParseRect(vals.Get("q"))
+	if err != nil {
+		return nil, err
+	}
+	if mode == ModeExact || (mode == ModeAuto && reason == "") {
+		c, m, d, err := sn.ExactAssign(ctx, q)
+		if err == nil {
+			return &AssignResult{Cluster: c, Medoid: m, Distance: d, Tier: TierExact}, nil
+		}
+		fctx, ok := sketchFallback(ctx, err, reason)
+		if mode == ModeExact || !ok {
+			return nil, err
+		}
+		ctx, reason = fctx, ReasonDeadline
+		mDegraded.Add(1)
+	}
+	c, m, d, err := sn.SketchAssign(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &AssignResult{
+		Cluster: c, Medoid: m, Distance: d, Tier: TierSketch,
+		Degraded: reason == ReasonLoad || reason == ReasonDeadline, Reason: reason,
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, &Health{
+		Status: "ok", Rows: sn.tb.Rows(), Cols: sn.tb.Cols(),
+		Tiles: sn.NumTiles(), Clusters: sn.Clusters(), Reloads: s.reloads.Load(),
+	})
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	data, _ := json.Marshal(errorBody{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

@@ -2,6 +2,7 @@ package tabfile
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro/internal/table"
@@ -32,6 +33,14 @@ func FuzzRead(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("TABF"))
+	// A valid file carrying a NaN cell: must be rejected, not parsed.
+	nan := table.New(1, 1)
+	nan.Set(0, 0, math.NaN())
+	var nanBuf bytes.Buffer
+	if err := Write(&nanBuf, nan, false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(nanBuf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
@@ -43,6 +52,9 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(got.Data()) != got.Rows()*got.Cols() {
 			t.Fatalf("data length %d for %dx%d", len(got.Data()), got.Rows(), got.Cols())
+		}
+		if err := table.CheckFinite(got); err != nil {
+			t.Fatalf("non-finite cell survived a successful load: %v", err)
 		}
 	})
 }
@@ -62,6 +74,9 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if got.Rows() <= 0 || got.Cols() <= 0 {
 			t.Fatalf("parsed CSV table with dims %dx%d", got.Rows(), got.Cols())
+		}
+		if err := table.CheckFinite(got); err != nil {
+			t.Fatalf("non-finite cell survived a successful CSV load: %v", err)
 		}
 	})
 }

@@ -115,7 +115,11 @@ func Read(r io.Reader) (*table.Table, error) {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("tabfile: reading cell %d: %w", i, err)
 		}
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("tabfile: cell %d is %v: %w", i, v, table.ErrNonFinite)
+		}
+		data[i] = v
 	}
 	return t, nil
 }
@@ -191,6 +195,10 @@ func ReadCSV(r io.Reader) (*table.Table, error) {
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
 				return nil, fmt.Errorf("tabfile: CSV row %d field %d: %w", len(rows), i, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("tabfile: CSV row %d field %d is %v: %w",
+					len(rows), i, v, table.ErrNonFinite)
 			}
 			row[i] = v
 		}

@@ -2,8 +2,10 @@ package tabfile
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -14,7 +16,7 @@ import (
 func TestBinaryRoundTrip(t *testing.T) {
 	for _, compress := range []bool{false, true} {
 		tb := workload.Random(13, 7, 100, 1)
-		tb.Set(0, 0, math.Inf(1))
+		tb.Set(0, 0, 1e300) // huge but finite: non-finite cells are rejected on Read
 		tb.Set(1, 1, -0.0)
 		var buf bytes.Buffer
 		if err := Write(&buf, tb, compress); err != nil {
@@ -46,6 +48,31 @@ func TestCompressionShrinksRedundantData(t *testing.T) {
 	}
 	if packed.Len() >= plain.Len()/10 {
 		t.Errorf("gzip body %d not much smaller than plain %d", packed.Len(), plain.Len())
+	}
+}
+
+// TestNonFiniteRejected: NaN/±Inf cells must not flow silently into
+// sketches — both readers reject them with table.ErrNonFinite.
+func TestNonFiniteRejected(t *testing.T) {
+	for name, bad := range map[string]float64{
+		"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1),
+	} {
+		tb := table.New(3, 3)
+		tb.Set(1, 2, bad)
+		for _, compress := range []bool{false, true} {
+			var buf bytes.Buffer
+			if err := Write(&buf, tb, compress); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Read(&buf)
+			if !errors.Is(err, table.ErrNonFinite) {
+				t.Errorf("%s compress=%v: Read err = %v, want ErrNonFinite", name, compress, err)
+			}
+		}
+		csv := "1,2,3\n4," + strconv.FormatFloat(bad, 'g', -1, 64) + ",6\n"
+		if _, err := ReadCSV(strings.NewReader(csv)); !errors.Is(err, table.ErrNonFinite) {
+			t.Errorf("%s: ReadCSV err = %v, want ErrNonFinite", name, err)
+		}
 	}
 }
 

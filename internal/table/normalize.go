@@ -17,6 +17,11 @@ func ScaleRows(t *Table, factors []float64) error {
 	if len(factors) != t.Rows() {
 		return fmt.Errorf("table: %d factors for %d rows", len(factors), t.Rows())
 	}
+	for r, f := range factors {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("table: scale factor for row %d is %v: %w", r, f, ErrNonFinite)
+		}
+	}
 	for r := 0; r < t.Rows(); r++ {
 		f := factors[r]
 		row := t.Row(r)

@@ -9,9 +9,29 @@
 package table
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrNonFinite is wrapped by errors rejecting NaN or ±Inf cell values.
+// Non-finite cells poison every downstream computation silently — a
+// single NaN makes all sketch entries NaN, so every distance involving
+// the table becomes NaN and comparisons are vacuously false — which is
+// why the data ingress points (FromData, FromRows, tabfile readers)
+// reject them up front instead. Check with errors.Is.
+var ErrNonFinite = errors.New("non-finite value")
+
+// CheckFinite returns an error wrapping ErrNonFinite naming the first
+// NaN or ±Inf cell of t, or nil when every cell is finite.
+func CheckFinite(t *Table) error {
+	for i, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("table: cell (%d,%d) is %v: %w", i/t.cols, i%t.cols, v, ErrNonFinite)
+		}
+	}
+	return nil
+}
 
 // Table is a dense rows×cols matrix of float64 values.
 type Table struct {
@@ -37,7 +57,11 @@ func FromData(rows, cols int, data []float64) (*Table, error) {
 	if len(data) != rows*cols {
 		return nil, fmt.Errorf("table: data length %d != %d*%d", len(data), rows, cols)
 	}
-	return &Table{rows: rows, cols: cols, data: data}, nil
+	t := &Table{rows: rows, cols: cols, data: data}
+	if err := CheckFinite(t); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // FromRows builds a table from a slice of equal-length rows, copying them.
@@ -52,6 +76,9 @@ func FromRows(rows [][]float64) (*Table, error) {
 			return nil, fmt.Errorf("table: row %d has length %d, want %d", r, len(row), cols)
 		}
 		copy(t.Row(r), row)
+	}
+	if err := CheckFinite(t); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,10 +1,39 @@
 package table
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
 )
+
+// TestNonFiniteRejected: the value-carrying constructors and ScaleRows
+// reject NaN/±Inf with ErrNonFinite, so non-finite cells cannot enter a
+// Table through the validated ingress points.
+func TestNonFiniteRejected(t *testing.T) {
+	for name, bad := range map[string]float64{
+		"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1),
+	} {
+		if _, err := FromData(1, 2, []float64{1, bad}); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: FromData err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := FromRows([][]float64{{1, 2}, {bad, 4}}); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: FromRows err = %v, want ErrNonFinite", name, err)
+		}
+		tb := New(2, 2)
+		if err := ScaleRows(tb, []float64{1, bad}); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: ScaleRows err = %v, want ErrNonFinite", name, err)
+		}
+		tb.Set(0, 1, bad)
+		if err := CheckFinite(tb); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: CheckFinite err = %v, want ErrNonFinite", name, err)
+		}
+	}
+	ok := New(2, 2)
+	if err := CheckFinite(ok); err != nil {
+		t.Errorf("CheckFinite on finite table: %v", err)
+	}
+}
 
 func TestNewAndAccessors(t *testing.T) {
 	tb := New(3, 4)

@@ -478,6 +478,12 @@ var (
 // with errors.Is.
 var ErrSnapshotChecksum = core.ErrChecksum
 
+// ErrNonFinite is wrapped by table constructors, normalizers, and the
+// file readers when a cell (or scale factor) is NaN or ±Inf: non-finite
+// values are rejected at ingress because they would silently poison
+// every sketch derived from the table. Check with errors.Is.
+var ErrNonFinite = table.ErrNonFinite
+
 // PanicError is how a panic on a worker goroutine surfaces from the
 // context-aware entry points (NewPool with a Context, AllPositionsCtx,
 // KMeans/KMedoids with a Context): recovered, wrapped with the worker's
