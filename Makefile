@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo all
+.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo all
 
 all: build test
 
@@ -38,10 +38,11 @@ staticcheck:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' -cpu 1,4,8 .
 
-# Machine-readable before/after report for the frequency-domain engine
-# (pool construction, AllPositions, CrossCorrelate — old vs planned).
+# Machine-readable before/after report: the frequency-domain engine
+# (pool construction, AllPositions, CrossCorrelate — old vs planned)
+# plus incremental pool maintenance (Pool.Append vs full rebuild).
 bench-json:
-	$(GO) run ./cmd/tabmine-bench -out BENCH_2.json
+	$(GO) run ./cmd/tabmine-bench -out BENCH_5.json
 
 # Short fuzzing pass over every fuzz target (each target needs its own
 # invocation; the seed corpora also run under plain `make test`).
@@ -55,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPool -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPlaneSet -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzOpen -fuzztime=$(FUZZTIME) ./internal/tabstore
+	$(GO) test -run='^$$' -fuzz=FuzzIngestRecord -fuzztime=$(FUZZTIME) ./internal/ingest
 
 # The same fuzz pass at CI-friendly duration — a smoke test that the
 # corrupt-input hardening (snapshot loaders, store manifest, tabfile
@@ -107,3 +109,43 @@ serve-demo:
 	echo '--- SIGTERM, expecting a clean drain (exit 0):'; \
 	kill -TERM $$pid; wait $$pid; \
 	echo 'serve-demo OK'
+
+# End-to-end drill of streaming ingestion: seed a two-day store, serve
+# it, push a third day over HTTP (tabmine-ingest -> POST /v1/ingest),
+# watch the snapshot republish live with no SIGHUP, then restart the
+# server and require the pool to resume from its persisted snapshot
+# (both servers must drain cleanly on SIGTERM).
+ingest-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/push" ./cmd/tabmine-ingest; \
+	$(GO) build -o "$$d/query" ./cmd/tabmine-query; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 16 -seed 1 -o "$$d/day0.tabf"; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 16 -seed 2 -o "$$d/day1.tabf"; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" init; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" append -label d00 -in "$$d/day0.tabf"; \
+	$(GO) run ./cmd/tabmine-store -dir "$$d/store" append -label d01 -in "$$d/day1.tabf"; \
+	"$$d/serve" -store "$$d/store" -addr 127.0.0.1:0 -addr-file "$$d/addr" \
+		-k 64 -tile-rows 8 -tile-cols 8 -clusters 4 -pool-file "$$d/store/pool.skpo" & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo 'ERROR: server never published its address'; kill $$pid; exit 1; }; \
+	srv="http://$$(cat "$$d/addr")"; \
+	echo '--- health before the push (32 columns):'; \
+	"$$d/query" -server "$$srv" -op health | grep -q '"cols":32'; \
+	echo '--- pushing one day over HTTP:'; \
+	"$$d/push" -addr "$$srv" -label d02 -random 64x16 -seed 9; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":48' && break; sleep 0.1; done; \
+	"$$d/query" -server "$$srv" -op health | grep -q '"cols":48'; \
+	echo '--- snapshot republished live (48 columns, no SIGHUP):'; \
+	"$$d/query" -server "$$srv" -op distance -a 0,0,8,8 -b 0,40,8,8 -mode exact; \
+	echo '--- restart: the pool must resume from its persisted snapshot:'; \
+	kill -TERM $$pid; wait $$pid; \
+	"$$d/serve" -store "$$d/store" -addr 127.0.0.1:0 -addr-file "$$d/addr2" \
+		-k 64 -tile-rows 8 -tile-cols 8 -clusters 4 -pool-file "$$d/store/pool.skpo" & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr2" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr2" ] || { echo 'ERROR: restarted server never published its address'; kill $$pid; exit 1; }; \
+	srv="http://$$(cat "$$d/addr2")"; \
+	"$$d/query" -server "$$srv" -op health | grep -q '"cols":48'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo 'ingest-demo OK'

@@ -6,6 +6,7 @@
 package tabmine
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -629,6 +630,43 @@ func BenchmarkNewPool(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkIncrementalAppend is the streaming-ingestion before/after:
+// extending a panel-mode pool over a 256-column table by w columns via
+// Pool.Append versus rebuilding it from scratch over the grown table.
+// The incremental path recomputes only the panels whose overlap-save
+// slab reaches the new columns, so its cost scales with w while the
+// rebuild scales with the whole window.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	const rows, baseCols, k = 64, 256, 16
+	opts := core.PoolOptions{
+		MinLogRows: 1, MaxLogRows: 4, MinLogCols: 1, MaxLogCols: 4,
+		PanelCols: 32, Workers: 1,
+	}
+	full := workload.Random(rows, baseCols+64, 1, 21)
+	base := full.Sub(table.Rect{Rows: rows, Cols: baseCols})
+	basePool, err := core.NewPool(base, 1, k, 7, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 8, 64} {
+		grown := full.Sub(table.Rect{Rows: rows, Cols: baseCols + w})
+		b.Run(fmt.Sprintf("append/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := basePool.Append(context.Background(), grown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPool(grown, 1, k, 7, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPoolBuild measures Theorem 6's preprocessing (all dyadic

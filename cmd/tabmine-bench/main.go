@@ -1,15 +1,18 @@
-// Command tabmine-bench runs the PR's before/after microbenchmarks with
-// the testing package's programmatic harness and emits a machine-readable
-// JSON report (pool construction, all-positions preprocessing, and the
-// raw cross-correlation primitive, each old-vs-planned).
+// Command tabmine-bench runs the repo's before/after microbenchmarks
+// with the testing package's programmatic harness and emits a
+// machine-readable JSON report: the raw cross-correlation primitive,
+// all-positions preprocessing, and pool construction (each old
+// vs planned), plus incremental pool maintenance (Pool.Append vs a full
+// rebuild at several append widths, with measured correlation counts).
 //
-//	tabmine-bench -out BENCH_2.json
+//	tabmine-bench -out BENCH_5.json
 //
 // The report is the artifact behind the numbers quoted in EXPERIMENTS.md;
 // `make bench-json` regenerates it.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fft"
+	"repro/internal/table"
 	"repro/internal/workload"
 )
 
@@ -50,6 +54,10 @@ type report struct {
 
 func run(name string, correlations int, fn func(b *testing.B)) result {
 	fmt.Fprintf(os.Stderr, "running %-28s ", name+"...")
+	// Pay any outstanding GC debt from setup or the previous section now,
+	// not inside the first timed ops (on a single-core box a collection
+	// of a predecessor's garbage can dominate a short benchmark).
+	runtime.GC()
 	r := testing.Benchmark(fn)
 	row := result{
 		Name:         name,
@@ -67,7 +75,7 @@ func run(name string, correlations int, fn func(b *testing.B)) result {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{
@@ -161,6 +169,52 @@ func main() {
 	})
 	rep.Results = append(rep.Results, npOld, npNew)
 	rep.Speedups["new_pool"] = npOld.NsPerCorrelation / npNew.NsPerCorrelation
+
+	// --- Incremental append: panel-mode maintenance over a 256-column
+	// window vs rebuilding from scratch, at several append widths. Per-op
+	// (not per-correlation) speedup is the headline here: both sides do
+	// one maintenance event over the same grown table, the incremental
+	// side just runs fewer slab correlations (the Correlations columns
+	// record exactly how many, counted by the fft package's hooks).
+	const apRows, apBase = 64, 256
+	apOpts := core.PoolOptions{
+		MinLogRows: 1, MaxLogRows: 4, MinLogCols: 1, MaxLogCols: 4,
+		PanelCols: 32, Workers: 1,
+	}
+	apFull := workload.Random(apRows, apBase+64, 1, 21)
+	apBaseTb := apFull.Sub(table.Rect{Rows: apRows, Cols: apBase})
+	basePool, err := core.NewPool(apBaseTb, 1, poolK, 7, apOpts)
+	fatal(err)
+	for _, w := range []int{1, 8, 64} {
+		grown := apFull.Sub(table.Rect{Rows: apRows, Cols: apBase + w})
+		// One uncounted warm call per side measures its correlation count.
+		c0 := fft.CorrelationCount()
+		_, err := basePool.Append(context.Background(), grown)
+		fatal(err)
+		appendCorr := int(fft.CorrelationCount() - c0)
+		c0 = fft.CorrelationCount()
+		_, err = core.NewPool(grown, 1, poolK, 7, apOpts)
+		fatal(err)
+		rebuildCorr := int(fft.CorrelationCount() - c0)
+
+		inc := run(fmt.Sprintf("incremental_append/w%d", w), appendCorr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := basePool.Append(context.Background(), grown); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		reb := run(fmt.Sprintf("full_rebuild/w%d", w), rebuildCorr, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPool(grown, 1, poolK, 7, apOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, inc, reb)
+		rep.Speedups[fmt.Sprintf("incremental_append/w%d", w)] =
+			float64(reb.NsPerOp) / float64(inc.NsPerOp)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	fatal(err)

@@ -8,10 +8,20 @@
 //	tabmine-serve -table calls.tabf -addr 127.0.0.1:8080 \
 //	    -p 1 -k 128 -tile-rows 16 -tile-cols 16 -clusters 8
 //
+// With -store the server runs in streaming-ingestion mode instead: it
+// serves a day-partitioned tabstore, accepts pushed day-columns on
+// POST /v1/ingest (see tabmine-ingest), maintains the sketch pool
+// incrementally over a bounded sliding window, and republishes the
+// snapshot atomically after every accepted batch — no SIGHUP needed.
+//
+//	tabmine-serve -store ./calls -addr 127.0.0.1:8080 \
+//	    -window-days 30 -panel-cols 32 -pool-file ./calls/pool.skpo
+//
 // Lifecycle: SIGHUP re-reads the input files and hot-swaps the
 // snapshot atomically (in-flight requests finish against the old one);
-// SIGINT/SIGTERM drains in-flight requests for up to -grace and exits
-// 0 on a clean drain.
+// in store mode it is the manual override that re-reads the manifest
+// for days appended by another process. SIGINT/SIGTERM drains in-flight
+// requests for up to -grace and exits 0 on a clean drain.
 package main
 
 import (
@@ -20,22 +30,58 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/bits"
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/runctx"
 	"repro/internal/server"
 	"repro/internal/tabfile"
+	"repro/internal/tabstore"
 )
+
+// latchPublisher buffers the newest snapshot until the server exists
+// (the ingester resumes before server.New runs, since the server needs
+// the first snapshot), then forwards every later one.
+type latchPublisher struct {
+	mu   sync.Mutex
+	last *server.Snapshot
+	dst  server.Publisher
+}
+
+func (l *latchPublisher) Publish(sn *server.Snapshot) {
+	l.mu.Lock()
+	l.last = sn
+	dst := l.dst
+	l.mu.Unlock()
+	if dst != nil {
+		dst.Publish(sn)
+	}
+}
+
+func (l *latchPublisher) Last() *server.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+func (l *latchPublisher) forwardTo(dst server.Publisher) {
+	l.mu.Lock()
+	l.dst = dst
+	l.mu.Unlock()
+}
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
-		in       = flag.String("table", "", "input table file (required)")
+		in       = flag.String("table", "", "input table file (this or -store is required)")
+		storeDir = flag.String("store", "", "serve a day-partitioned tabstore with streaming ingestion")
 		loadPool = flag.String("load-pool", "", "load a pool snapshot instead of building one")
 		p        = flag.Float64("p", 1, "Lp exponent in (0, 2]")
 		k        = flag.Int("k", 128, "sketch entries")
@@ -52,10 +98,16 @@ func main() {
 		degradeAt   = flag.Float64("degrade-at", 0, "occupancy fraction above which auto queries degrade (0 = 0.75)")
 		exactBudget = flag.Duration("exact-budget", 0, "min remaining deadline for the exact path (0 = 20ms)")
 		grace       = flag.Duration("grace", 10*time.Second, "drain timeout on SIGTERM/SIGINT")
+
+		windowDays = flag.Int("window-days", 0, "store mode: sliding window over the time axis, in days (0 = unbounded)")
+		panelCols  = flag.Int("panel-cols", 32, "store mode: panel width for incremental pool maintenance")
+		poolFile   = flag.String("pool-file", "", "store mode: persist the pool here for crash-safe resume")
+		poll       = flag.Duration("poll", 0, "store mode: re-read the manifest this often (0 = pushes and SIGHUP only)")
+		queueLen   = flag.Int("queue-len", 0, "store mode: pending-append backlog bound before 503s (0 = default 8)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "tabmine-serve: -table is required")
+	if (*in == "") == (*storeDir == "") {
+		fmt.Fprintln(os.Stderr, "tabmine-serve: exactly one of -table and -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,47 +116,99 @@ func main() {
 	ctx, stop := runctx.WithSignals(0)
 	defer stop()
 
-	build := func(bctx context.Context) (*server.Snapshot, error) {
-		tb, err := tabfile.ReadFile(*in)
-		if err != nil {
-			return nil, err
-		}
-		var pool *core.Pool
-		if *loadPool != "" {
-			pool, err = core.LoadPoolFile(*loadPool)
-		} else {
-			opts := core.DefaultPoolOptions(tb)
-			if *maxLog > 0 {
-				opts.MaxLogRows = min(opts.MaxLogRows, *maxLog)
-				opts.MaxLogCols = min(opts.MaxLogCols, *maxLog)
-			}
-			opts.Workers = *workers
-			opts.Context = bctx
-			pool, err = core.NewPool(tb, *p, *k, *seed, opts)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return server.BuildSnapshot(bctx, tb, pool, server.SnapshotConfig{
-			TileRows: *tileRows, TileCols: *tileCols,
-			Clusters: *clusters, Seed: *seed, Workers: *workers,
-		})
+	snapCfg := server.SnapshotConfig{
+		TileRows: *tileRows, TileCols: *tileCols,
+		Clusters: *clusters, Seed: *seed, Workers: *workers,
 	}
-
+	var (
+		build    func(bctx context.Context) (*server.Snapshot, error) // SIGHUP rebuild, table mode only
+		ingester *ingest.Ingester
+		snap     *server.Snapshot
+		latch    = &latchPublisher{}
+	)
 	t0 := time.Now()
-	snap, err := build(ctx)
-	fatal(err)
+	if *storeDir != "" {
+		st, err := tabstore.Open(*storeDir)
+		fatal(err)
+		if st.NumDays() == 0 {
+			fatal(fmt.Errorf("store %s is empty; append a first day with tabmine-store", *storeDir))
+		}
+		// Row extents come from the store's fixed station axis; column
+		// extents are capped at the tile width so they stay buildable
+		// over any window at least one tile wide.
+		popts := core.PoolOptions{
+			MinLogRows: 1, MaxLogRows: bits.Len(uint(st.Rows())) - 1,
+			MinLogCols: 1, MaxLogCols: bits.Len(uint(*tileCols)) - 1,
+			Workers: *workers, PanelCols: *panelCols,
+		}
+		if *maxLog > 0 {
+			popts.MaxLogRows = min(popts.MaxLogRows, *maxLog)
+			popts.MaxLogCols = min(popts.MaxLogCols, *maxLog)
+		}
+		ingester, err = ingest.New(st, ingest.Options{
+			PoolP: *p, PoolK: *k, PoolSeed: *seed, Pool: popts,
+			WindowDays: *windowDays, QueueLen: *queueLen,
+			PoolFile: *poolFile, Poll: *poll,
+			Snapshot: snapCfg, Publisher: latch, Logf: logger.Printf,
+		})
+		fatal(err)
+		fatal(ingester.Resume(ctx))
+		if snap = latch.Last(); snap == nil {
+			fatal(fmt.Errorf("no snapshot could be built over the store window (is it at least %dx%d?)",
+				*tileRows, *tileCols))
+		}
+	} else {
+		build = func(bctx context.Context) (*server.Snapshot, error) {
+			tb, err := tabfile.ReadFile(*in)
+			if err != nil {
+				return nil, err
+			}
+			var pool *core.Pool
+			if *loadPool != "" {
+				pool, err = core.LoadPoolFile(*loadPool)
+			} else {
+				opts := core.DefaultPoolOptions(tb)
+				if *maxLog > 0 {
+					opts.MaxLogRows = min(opts.MaxLogRows, *maxLog)
+					opts.MaxLogCols = min(opts.MaxLogCols, *maxLog)
+				}
+				opts.Workers = *workers
+				opts.Context = bctx
+				pool, err = core.NewPool(tb, *p, *k, *seed, opts)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return server.BuildSnapshot(bctx, tb, pool, snapCfg)
+		}
+		var err error
+		snap, err = build(ctx)
+		fatal(err)
+	}
 	logger.Printf("snapshot ready in %v: %dx%d table, %d tiles, %d clusters",
 		time.Since(t0).Round(time.Millisecond),
 		snap.Table().Rows(), snap.Table().Cols(), snap.NumTiles(), snap.Clusters())
 
-	srv, err := server.New(snap, server.Config{
+	cfg := server.Config{
 		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
 		DefaultTimeout: *reqTimeout, DegradeAt: *degradeAt,
 		ExactBudget: *exactBudget, Workers: *workers,
 		Logf: logger.Printf,
-	})
+	}
+	if ingester != nil {
+		cfg.Ingestor = ingester
+	}
+	srv, err := server.New(snap, cfg)
 	fatal(err)
+	if ingester != nil {
+		// From here on every maintained snapshot goes live atomically.
+		latch.forwardTo(srv)
+		go func() {
+			if err := ingester.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Printf("ingest loop: %v", err)
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	fatal(err)
@@ -113,12 +217,19 @@ func main() {
 		fatal(os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644))
 	}
 
-	// SIGHUP → rebuild from the input files and swap atomically. A
-	// failed rebuild keeps serving the old snapshot.
+	// SIGHUP → table mode rebuilds from the input files and swaps
+	// atomically (a failed rebuild keeps serving the old snapshot);
+	// store mode re-reads the manifest and drains — the manual override
+	// for stores grown by another process.
 	hup, stopHup := runctx.Hangup()
 	defer stopHup()
 	go func() {
 		for range hup {
+			if ingester != nil {
+				logger.Printf("SIGHUP: re-reading store manifest")
+				ingester.Wake()
+				continue
+			}
 			logger.Printf("SIGHUP: reloading snapshot from %s", *in)
 			ns, err := build(ctx)
 			if err != nil {

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/parallel"
+	"repro/internal/table"
+)
+
+// Incremental dyadic pool maintenance. p-stable sketches are linear in
+// the data (§3.2), and a dyadic tile whose columns lie entirely before
+// an append is untouched by it (Definition 4) — so appending c columns
+// to an N-column table only invalidates the O(rows·(c+M)) fringe of
+// anchor positions whose tiles reach the new columns. The catch is
+// byte-identity: a full-table FFT's rounding couples every output to
+// every input column through the padded transform, so a fringe computed
+// on a small slab can never bit-match a monolithic build. Panel mode
+// (PoolOptions.PanelCols) removes the coupling by decree: the canonical
+// build itself correlates in fixed overlap-save panels, each through a
+// slab plan whose bytes depend only on that slab's columns. Append then
+// recomputes exactly the panels whose slab reaches the appended columns
+// and copies every other lane forward — the same per-panel FFTs a
+// from-scratch panel build would run, hence byte-identical output.
+
+// colPanels is the overlap-save decomposition of one dyadic column size
+// 2^j over a cols-wide table: anchor columns are split into panels of
+// width w = max(PanelCols, 2^j), and panel q is computed from the slab
+// of table columns [q·w, q·w + w + b − 1) (zero-extended past the table
+// edge), whose b−1 overlap fringe makes all w anchors of the panel
+// valid correlations.
+type colPanels struct {
+	j, b, w int
+	anchors int           // valid anchor columns: cols − b + 1
+	qmin    int           // first panel to (re)compute this pass
+	qnum    int           // total panels
+	plans   []*fft.Plan2D // plans[q − qmin]
+}
+
+// firstDirtyPanel returns the first panel whose slab reaches a column
+// ≥ fromCols. Panels before it saw bit-identical slab bytes before and
+// after an append at fromCols — including identical zero extension — so
+// their previously computed lanes are reusable verbatim. fromCols = 0
+// marks every panel dirty (a from-scratch build).
+func firstDirtyPanel(fromCols, w, b int) int {
+	// Smallest q with q·w + w + b − 1 > fromCols, i.e. q ≥ ceil((fromCols−w−b+2)/w).
+	return max(0, (fromCols-b+1)/w)
+}
+
+// buildPanels (re)computes, for every pooled size, all panels whose slab
+// reaches a column ≥ fromCols, writing through into the already
+// allocated plane sets. Slab plans are built first (one per (colsize,
+// panel), shared by every row size and sketch set), then correlation
+// jobs fan out per (rowsize, colsize, set); each job writes only its own
+// plane set's lanes, so results are byte-identical at any worker count.
+func (pl *Pool) buildPanels(ctx context.Context, t *table.Table, workers, fromCols int) error {
+	var groups []*colPanels
+	for j := pl.opts.MinLogCols; j <= pl.opts.MaxLogCols; j++ {
+		b := 1 << j
+		g := &colPanels{j: j, b: b, w: max(pl.opts.PanelCols, b), anchors: pl.cols - b + 1}
+		g.qnum = (g.anchors + g.w - 1) / g.w
+		g.qmin = firstDirtyPanel(fromCols, g.w, b)
+		if g.qmin >= g.qnum {
+			continue // append narrower than the last panel's remaining room
+		}
+		g.plans = make([]*fft.Plan2D, g.qnum-g.qmin)
+		groups = append(groups, g)
+	}
+
+	// Pass 1: slab plans, one forward FFT each, into per-(group, panel)
+	// slots.
+	type planJob struct {
+		g *colPanels
+		q int
+	}
+	var planJobs []planJob
+	for _, g := range groups {
+		for q := g.qmin; q < g.qnum; q++ {
+			planJobs = append(planJobs, planJob{g, q})
+		}
+	}
+	if err := parallel.ForCtx(ctx, workers, len(planJobs), func(n int) {
+		pj := planJobs[n]
+		g := pj.g
+		pj.g.plans[pj.q-g.qmin] = fft.NewPlan2DSlab(t.Data(), pl.rows, pl.cols, pj.q*g.w, g.w+g.b-1)
+	}); err != nil {
+		return err
+	}
+
+	// Pass 2: correlations. Job (i, g, s) owns plane set (i, g.j, s)
+	// entirely; panels and matrix pairs run serially inside it.
+	type corrJob struct {
+		i, s int
+		g    *colPanels
+	}
+	var jobs []corrJob
+	for i := pl.opts.MinLogRows; i <= pl.opts.MaxLogRows; i++ {
+		for _, g := range groups {
+			for s := 0; s < compoundSets; s++ {
+				jobs = append(jobs, corrJob{i, s, g})
+			}
+		}
+	}
+	errs := make([]error, len(jobs))
+	if err := parallel.ForCtx(ctx, workers, len(jobs), func(n int) {
+		jb := jobs[n]
+		g := jb.g
+		ps := pl.entries[[2]int{jb.i, g.j}][jb.s]
+		sk := ps.sk
+		a, k := 1<<jb.i, pl.k
+		rowStride := ps.cols * k
+		for qi, plan := range g.plans {
+			if err := ctx.Err(); err != nil {
+				errs[n] = err
+				return
+			}
+			c0a := (g.qmin + qi) * g.w
+			sub := min(g.w, g.anchors-c0a)
+			for pi := 0; pi < (k+1)/2; pi++ {
+				i2 := 2 * pi
+				var kernB, dstB []float64
+				if i2+1 < k {
+					kernB = sk.mats[i2+1]
+					dstB = ps.data[c0a*k+i2+1:]
+				}
+				plan.CorrelatePairValidSub(sk.mats[i2], kernB, a, g.b, sub,
+					ps.data[c0a*k+i2:], rowStride, k, dstB, rowStride, k)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append returns a new Pool over t, an extension of the pool's table by
+// new columns on the right, reusing every sketch lane an append cannot
+// have changed: only panels whose slab reaches the appended columns are
+// recomputed (the same slab FFTs a from-scratch build over t would run),
+// so the result is byte-identical to NewPool(t, ...) with this pool's
+// parameters — asserted by the incremental-equivalence property tests.
+//
+// Requirements: the pool was built with PoolOptions.PanelCols > 0, t has
+// the pool's row count, at least the pool's column count, and its first
+// TableDims() columns are bit-identical to the data the pool was built
+// over (the caller owns that contract; the sliding-window ingester
+// satisfies it by construction). The receiver is never mutated — it
+// remains valid for concurrent queries while and after Append runs, so a
+// server can keep answering from the old pool until the new one is
+// published. BaseCol carries over unchanged.
+//
+// Cost: O(pool bytes) to copy lanes forward plus one slab FFT pass over
+// the dirty fringe — for a c-column append, O(rows·(c + PanelCols + M))
+// anchor columns per size instead of all of them.
+func (pl *Pool) Append(ctx context.Context, t *table.Table) (*Pool, error) {
+	if pl.opts.PanelCols <= 0 {
+		return nil, errors.New("core: Append requires a pool built with PoolOptions.PanelCols > 0")
+	}
+	if t.Rows() != pl.rows {
+		return nil, fmt.Errorf("core: Append table has %d rows, pool was built over %d", t.Rows(), pl.rows)
+	}
+	if t.Cols() < pl.cols {
+		return nil, fmt.Errorf("core: Append table has %d cols, fewer than the pool's %d", t.Cols(), pl.cols)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t.Cols() == pl.cols {
+		return pl, nil // nothing appended; the pool is immutable, so sharing is safe
+	}
+	np := &Pool{
+		p: pl.p, k: pl.k, rows: pl.rows, cols: t.Cols(), seed: pl.seed,
+		baseCol: pl.baseCol, opts: pl.opts,
+		entries: make(map[[2]int][compoundSets]*PlaneSet, len(pl.entries)),
+	}
+	// Copy every lane forward row by row (plane rows widen with the
+	// table). Dirty panels are overwritten below; clean panels keep these
+	// bytes, which the old build produced from bit-identical slabs.
+	for key, sets := range pl.entries {
+		b := 1 << key[1]
+		var nsets [compoundSets]*PlaneSet
+		for s, ps := range sets {
+			nps := &PlaneSet{sk: ps.sk, rows: ps.rows, cols: np.cols - b + 1}
+			nps.data = make([]float64, nps.rows*nps.cols*np.k)
+			rowOld, rowNew := ps.cols*np.k, nps.cols*np.k
+			for r := 0; r < ps.rows; r++ {
+				copy(nps.data[r*rowNew:r*rowNew+rowOld], ps.data[r*rowOld:(r+1)*rowOld])
+			}
+			nsets[s] = nps
+		}
+		np.entries[key] = nsets
+	}
+	if err := np.buildPanels(ctx, t, parallel.Resolve(pl.opts.Workers), pl.cols); err != nil {
+		return nil, err
+	}
+	return np, nil
+}

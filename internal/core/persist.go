@@ -24,7 +24,7 @@ import (
 // estimator) parameters — so a saved pool is just parameters plus the
 // correlation payloads.
 //
-// # Format v2 (current)
+// # Format v3 (current)
 //
 // A snapshot is a 4-byte magic, a little-endian u32 version, and a
 // sequence of framed sections. Each section is
@@ -35,7 +35,11 @@ import (
 // silently corrupting every subsequent distance estimate — the sketch
 // state is a long-lived summary assumed durable across sessions. The
 // sections are: one header (parameters) and one float payload per plane
-// set. Version 1 files (unframed, no checksums) still load.
+// set. Version 3 extends the pool header with the panel width and the
+// high-water base column (streaming-ingest metadata; see
+// Pool.HighWaterCols) — the plane-set layout is unchanged from v2.
+// Version 2 (framed, no ingest metadata) and version 1 (unframed, no
+// checksums) files still load, with PanelCols and BaseCol zero.
 
 var (
 	planeMagic = [4]byte{'S', 'K', 'P', 'L'}
@@ -44,7 +48,8 @@ var (
 
 const (
 	persistVersionV1 = 1
-	persistVersion   = 2
+	persistVersionV2 = 2
+	persistVersion   = 3
 )
 
 // ErrChecksum reports a corrupted v2 snapshot frame: a CRC32C mismatch
@@ -364,7 +369,9 @@ func LoadPlaneSet(r io.Reader) (*PlaneSet, error) {
 			return nil, fmt.Errorf("core: reading plane set payload: %w", lr.err)
 		}
 		return ps, nil
-	case persistVersion:
+	case persistVersionV2, persistVersion:
+		// The plane-set layout is identical in v2 and v3; only the pool
+		// header grew.
 		hdr := lr.framedBytes(maxHeaderBytes)
 		if lr.err != nil {
 			return nil, fmt.Errorf("core: reading plane set header: %w", lr.err)
@@ -424,6 +431,9 @@ func writePoolParams(lw *leWriter, pl *Pool) {
 	lw.u32(uint32(pl.opts.MinLogCols))
 	lw.u32(uint32(pl.opts.MaxLogCols))
 	lw.u32(uint32(pl.opts.Estimator))
+	// v3: streaming-ingest metadata.
+	lw.u32(uint32(pl.opts.PanelCols))
+	lw.u64(uint64(pl.baseCol))
 }
 
 func sortedPoolKeys(pl *Pool) [][2]int {
@@ -440,9 +450,10 @@ func sortedPoolKeys(pl *Pool) [][2]int {
 	return keys
 }
 
-// poolShell parses the pool header fields (shared by v1 and v2) into an
-// empty Pool, validating them.
-func poolShell(lr *leReader) (*Pool, error) {
+// poolShell parses the pool header fields into an empty Pool, validating
+// them. Versions 1 and 2 share a prefix; version 3 appends the
+// streaming-ingest metadata (panel width, base column).
+func poolShell(lr *leReader, version uint32) (*Pool, error) {
 	pl := &Pool{entries: make(map[[2]int][compoundSets]*PlaneSet)}
 	pl.p = lr.f64()
 	pl.k = int(lr.u64())
@@ -454,6 +465,10 @@ func poolShell(lr *leReader) (*Pool, error) {
 	pl.opts.MinLogCols = int(lr.u32())
 	pl.opts.MaxLogCols = int(lr.u32())
 	pl.opts.Estimator = Estimator(lr.u32())
+	if version >= persistVersion {
+		pl.opts.PanelCols = int(lr.u32())
+		pl.baseCol = int(lr.u64())
+	}
 	if lr.err != nil {
 		return nil, fmt.Errorf("core: reading pool header: %w", lr.err)
 	}
@@ -461,9 +476,11 @@ func poolShell(lr *leReader) (*Pool, error) {
 		pl.rows > 1<<24 || pl.cols > 1<<24 ||
 		pl.opts.MinLogRows < 0 || pl.opts.MinLogRows > pl.opts.MaxLogRows ||
 		pl.opts.MinLogCols < 0 || pl.opts.MinLogCols > pl.opts.MaxLogCols ||
-		1<<pl.opts.MaxLogRows > pl.rows || 1<<pl.opts.MaxLogCols > pl.cols {
-		return nil, fmt.Errorf("core: implausible pool header %+v (%dx%d, k=%d)",
-			pl.opts, pl.rows, pl.cols, pl.k)
+		1<<pl.opts.MaxLogRows > pl.rows || 1<<pl.opts.MaxLogCols > pl.cols ||
+		pl.opts.PanelCols < 0 || pl.opts.PanelCols > 1<<24 ||
+		pl.baseCol < 0 || pl.baseCol > 1<<40 {
+		return nil, fmt.Errorf("core: implausible pool header %+v (%dx%d, k=%d, base=%d)",
+			pl.opts, pl.rows, pl.cols, pl.k, pl.baseCol)
 	}
 	return pl, nil
 }
@@ -529,7 +546,7 @@ func LoadPool(r io.Reader) (*Pool, error) {
 	switch v {
 	case persistVersionV1:
 		var err error
-		if pl, err = poolShell(lr); err != nil {
+		if pl, err = poolShell(lr, v); err != nil {
 			return nil, err
 		}
 		if err := loadPoolEntries(pl, func(n int) ([]float64, error) {
@@ -538,14 +555,14 @@ func LoadPool(r io.Reader) (*Pool, error) {
 		}); err != nil {
 			return nil, err
 		}
-	case persistVersion:
+	case persistVersionV2, persistVersion:
 		hdr := lr.framedBytes(maxHeaderBytes)
 		if lr.err != nil {
 			return nil, fmt.Errorf("core: reading pool header: %w", lr.err)
 		}
 		hlr := &leReader{r: bufio.NewReader(bytes.NewReader(hdr))}
 		var err error
-		if pl, err = poolShell(hlr); err != nil {
+		if pl, err = poolShell(hlr, v); err != nil {
 			return nil, err
 		}
 		if err := loadPoolEntries(pl, func(n int) ([]float64, error) {
@@ -568,7 +585,7 @@ func SavePoolFile(path string, pl *Pool) error {
 	return atomicio.WriteFile(path, func(w io.Writer) error { return SavePool(w, pl) })
 }
 
-// LoadPoolFile reads a pool snapshot from path (v1 or v2).
+// LoadPoolFile reads a pool snapshot from path (any format version).
 func LoadPoolFile(path string) (*Pool, error) {
 	f, err := os.Open(path)
 	if err != nil {

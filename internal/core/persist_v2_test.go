@@ -53,19 +53,63 @@ func v1PlaneSetBytes(t *testing.T, ps *PlaneSet) []byte {
 	return buf.Bytes()
 }
 
+// writePoolParamsLegacy is the v1/v2 pool header — the v3 header minus
+// the streaming-ingest metadata. Production code only ever writes v3;
+// this encoder exists so the compat tests exercise exactly the bytes
+// older builds produced.
+func writePoolParamsLegacy(lw *leWriter, pl *Pool) {
+	lw.f64(pl.p)
+	lw.u64(uint64(pl.k))
+	lw.u64(uint64(pl.rows))
+	lw.u64(uint64(pl.cols))
+	lw.u64(pl.seed)
+	lw.u32(uint32(pl.opts.MinLogRows))
+	lw.u32(uint32(pl.opts.MaxLogRows))
+	lw.u32(uint32(pl.opts.MinLogCols))
+	lw.u32(uint32(pl.opts.MaxLogCols))
+	lw.u32(uint32(pl.opts.Estimator))
+}
+
 func v1PoolBytes(t *testing.T, pl *Pool) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	buf.Write(poolMagic[:])
 	v := newV1Writer(&buf)
 	v.lw.u32(persistVersionV1)
-	writePoolParams(v.lw, pl)
+	writePoolParamsLegacy(v.lw, pl)
 	for _, key := range sortedPoolKeys(pl) {
 		for _, ps := range pl.entries[key] {
 			v.rawFloats(ps.data)
 		}
 	}
 	v.flush(t)
+	return buf.Bytes()
+}
+
+// v2PoolBytes encodes the framed v2 format: v3 framing with the legacy
+// header fields.
+func v2PoolBytes(t *testing.T, pl *Pool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(poolMagic[:])
+	lw := &leWriter{w: bufio.NewWriter(&buf)}
+	lw.u32(persistVersionV2)
+	hdr, err := headerBytes(func(hw *leWriter) { writePoolParamsLegacy(hw, pl) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.framedBytes(hdr)
+	for _, key := range sortedPoolKeys(pl) {
+		for _, ps := range pl.entries[key] {
+			lw.framedFloats(ps.data)
+		}
+	}
+	if lw.err == nil {
+		lw.err = lw.w.Flush()
+	}
+	if lw.err != nil {
+		t.Fatal(lw.err)
+	}
 	return buf.Bytes()
 }
 
@@ -131,6 +175,52 @@ func TestLoadV1Pool(t *testing.T) {
 		t.Fatalf("v1 pool no longer loads: %v", err)
 	}
 	poolsEqual(t, pool, got)
+}
+
+// A v2 snapshot (framed, no ingest metadata) must keep loading, with
+// PanelCols and BaseCol defaulting to zero — resume code treats such
+// pools as full-history monolithic builds.
+func TestLoadV2Pool(t *testing.T) {
+	pool := persistTestPool(t, 27)
+	got, err := LoadPool(bytes.NewReader(v2PoolBytes(t, pool)))
+	if err != nil {
+		t.Fatalf("v2 pool no longer loads: %v", err)
+	}
+	poolsEqual(t, pool, got)
+	if got.PanelCols() != 0 || got.BaseCol() != 0 {
+		t.Fatalf("v2 pool loaded with PanelCols=%d BaseCol=%d, want zeros",
+			got.PanelCols(), got.BaseCol())
+	}
+}
+
+// A v3 round trip must preserve the streaming-ingest metadata: the panel
+// width (so a loaded pool can keep appending) and the base column (so
+// HighWaterCols survives restarts).
+func TestSaveLoadPreservesIngestMetadata(t *testing.T) {
+	rng := rand.New(rand.NewPCG(28, 28))
+	tb := randTable(rng, 16, 24)
+	pool, err := NewPool(tb, 1, 4, 9, PoolOptions{
+		MinLogRows: 1, MaxLogRows: 2, MinLogCols: 1, MaxLogCols: 2,
+		PanelCols: 8, BaseCol: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePool(&buf, pool); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPool(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolsEqual(t, pool, got)
+	if got.PanelCols() != 8 || got.BaseCol() != 40 {
+		t.Fatalf("round trip lost metadata: PanelCols=%d BaseCol=%d", got.PanelCols(), got.BaseCol())
+	}
+	if hw := got.HighWaterCols(); hw != 40+24 {
+		t.Fatalf("HighWaterCols = %d, want %d", hw, 40+24)
+	}
 }
 
 func TestSaveWritesV2(t *testing.T) {

@@ -33,6 +33,22 @@ type PoolOptions struct {
 	// completes is byte-identical whether or not a context was set. The
 	// finished Pool does not retain the context.
 	Context context.Context
+	// PanelCols > 0 selects the panel-mode build: every dyadic column
+	// size is correlated panel by panel through overlap-save slab plans
+	// of width max(PanelCols, 2^j) instead of one monolithic table plan.
+	// Panel mode is what makes Pool.Append incremental — an append only
+	// recomputes panels whose slab reaches the new columns, and the
+	// result is byte-identical to a from-scratch panel build because
+	// both paths run the exact same per-panel FFTs. Panel-mode pools are
+	// approximately (not bitwise) equal to monolithic pools of the same
+	// data: FFT rounding differs across transform sizes. 0 (the
+	// default) keeps the monolithic build.
+	PanelCols int
+	// BaseCol records the absolute stream column the pool's column 0
+	// corresponds to — metadata for sliding-window maintenance (the
+	// ingest layer trims old days and rebuilds with a shifted base). It
+	// does not affect sketch computation; see Pool.HighWaterCols.
+	BaseCol int
 }
 
 // DefaultPoolOptions covers every dyadic size from 2×2 up to the largest
@@ -66,6 +82,7 @@ type Pool struct {
 	k          int
 	rows, cols int // table dims
 	seed       uint64
+	baseCol    int // absolute stream column of table column 0
 	opts       PoolOptions
 	entries    map[[2]int][compoundSets]*PlaneSet
 }
@@ -86,13 +103,18 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 		return nil, fmt.Errorf("core: pool max dyadic size %dx%d exceeds table %dx%d",
 			1<<opts.MaxLogRows, 1<<opts.MaxLogCols, t.Rows(), t.Cols())
 	}
+	if opts.PanelCols < 0 || opts.BaseCol < 0 {
+		return nil, fmt.Errorf("core: negative PanelCols %d or BaseCol %d", opts.PanelCols, opts.BaseCol)
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	opts.Context = nil // the immutable Pool must not retain the build context
+	baseCol := opts.BaseCol
+	opts.BaseCol = 0 // pl.baseCol is authoritative (Append/trim move it)
 	pl := &Pool{
-		p: p, k: k, rows: t.Rows(), cols: t.Cols(), seed: seed, opts: opts,
+		p: p, k: k, rows: t.Rows(), cols: t.Cols(), seed: seed, baseCol: baseCol, opts: opts,
 		entries: make(map[[2]int][compoundSets]*PlaneSet),
 	}
 	// Validate the sketcher configuration once up front so worker errors
@@ -112,6 +134,43 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 		}
 	}
 	workers := parallel.Resolve(opts.Workers)
+
+	if opts.PanelCols > 0 {
+		// Panel mode: allocate every (size, set) plane set with its
+		// seeded sketcher, then correlate panel by panel through slab
+		// plans. The same buildPanels pass serves Append, which is what
+		// makes incremental and from-scratch builds byte-identical.
+		results := make([]*PlaneSet, len(jobs))
+		errs := make([]error, len(jobs))
+		if err := parallel.ForCtx(ctx, workers, len(jobs), func(n int) {
+			jb := jobs[n]
+			sk, err := NewSketcher(p, k, 1<<jb.i, 1<<jb.j,
+				poolSketcherSeed(seed, jb.i, jb.j, jb.s), opts.Estimator)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			ps := &PlaneSet{sk: sk, rows: pl.rows - 1<<jb.i + 1, cols: pl.cols - 1<<jb.j + 1}
+			ps.data = make([]float64, ps.rows*ps.cols*k)
+			results[n] = ps
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for n, jb := range jobs {
+			sets := pl.entries[[2]int{jb.i, jb.j}]
+			sets[jb.s] = results[n]
+			pl.entries[[2]int{jb.i, jb.j}] = sets
+		}
+		if err := pl.buildPanels(ctx, t, workers, 0); err != nil {
+			return nil, err
+		}
+		return pl, nil
+	}
 	// When there are fewer jobs than workers, spread the surplus inside
 	// each job's AllPositions fan-out (over the k matrices) instead of
 	// leaving cores idle. Either split produces identical results.
@@ -179,6 +238,21 @@ func (pl *Pool) NumSizes() int { return len(pl.entries) }
 // so holders of a loaded snapshot can validate query rectangles without
 // the original table.
 func (pl *Pool) TableDims() (rows, cols int) { return pl.rows, pl.cols }
+
+// BaseCol returns the absolute stream column the pool's table column 0
+// corresponds to (PoolOptions.BaseCol, carried unchanged through Append;
+// a sliding-window trim rebuilds with a shifted base).
+func (pl *Pool) BaseCol() int { return pl.baseCol }
+
+// HighWaterCols returns the exclusive absolute stream column up to which
+// the pool has ingested data: BaseCol() plus the pool's table width.
+// Resume-after-crash compares this against the store's total columns and
+// replays only the missing suffix, never recomputing from column 0.
+func (pl *Pool) HighWaterCols() int { return pl.baseCol + pl.cols }
+
+// PanelCols returns the configured panel width (0 = monolithic build;
+// see PoolOptions.PanelCols).
+func (pl *Pool) PanelCols() int { return pl.opts.PanelCols }
 
 // refSketcher returns a deterministic representative sketcher: the
 // distance estimator depends only on (p, k, scale, estimator), never on

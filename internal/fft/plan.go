@@ -16,6 +16,17 @@ var tableSpectra atomic.Int64
 // computed (i.e. how many Plan2D values were constructed).
 func TableSpectrumCount() int64 { return tableSpectra.Load() }
 
+// correlations counts planned valid-region correlations (one per kernel
+// FFT round trip; a packed pair rides one round trip and counts once).
+// The incremental pool-maintenance tests assert appends run a small
+// fraction of a full rebuild's correlations.
+var correlations atomic.Int64
+
+// CorrelationCount returns how many planned correlations have run since
+// process start (each CorrelatePairValid-family call counts once,
+// whether it carries one kernel or a packed pair).
+func CorrelationCount() int64 { return correlations.Load() }
+
 // Plan2D is the frequency-domain correlation engine behind Theorem 3: it
 // computes the padded forward 2D spectrum of one real data table exactly
 // once and then correlates that shared spectrum against any number of
@@ -60,17 +71,46 @@ func NewPlan2D(data []float64, n, m int) *Plan2D {
 	if len(data) != n*m {
 		panic(fmt.Sprintf("fft: NewPlan2D data length %d != %d*%d", len(data), n, m))
 	}
-	pr, pc := NextPow2(n), NextPow2(m)
+	return NewPlan2DSlab(data, n, m, 0, m)
+}
+
+// NewPlan2DSlab builds a correlation plan over a vertical column slab of
+// an n×fullCols row-major table: the plan's logical table is the
+// n×slabCols strip starting at column c0, zero-extended where
+// c0+slabCols runs past the table's right edge. Zero extension (rather
+// than clipping) keeps the padded transform size a function of slabCols
+// alone, so two slabs of equal width over equal contents produce
+// bit-identical plans regardless of where the table ends — the property
+// the incremental pool-maintenance path's byte-identity rests on.
+//
+// NewPlan2D is the c0=0, slabCols=fullCols special case.
+func NewPlan2DSlab(data []float64, n, fullCols, c0, slabCols int) *Plan2D {
+	if n <= 0 || fullCols <= 0 || slabCols <= 0 {
+		panic(fmt.Sprintf("fft: NewPlan2DSlab with non-positive dims n=%d fullCols=%d slabCols=%d",
+			n, fullCols, slabCols))
+	}
+	if c0 < 0 || c0 >= fullCols {
+		panic(fmt.Sprintf("fft: NewPlan2DSlab slab start %d outside table of %d cols", c0, fullCols))
+	}
+	if len(data) != n*fullCols {
+		panic(fmt.Sprintf("fft: NewPlan2DSlab data length %d != %d*%d", len(data), n, fullCols))
+	}
+	backed := slabCols // columns actually backed by table data
+	if c0+backed > fullCols {
+		backed = fullCols - c0
+	}
+	pr, pc := NextPow2(n), NextPow2(slabCols)
 	d := NewCMatrix(pr, pc)
 	for r := 0; r < n; r++ {
 		row := d.Row(r)
-		for c, v := range data[r*m : (r+1)*m] {
+		src := data[r*fullCols+c0 : r*fullCols+c0+backed]
+		for c, v := range src {
 			row[c] = complex(v, 0)
 		}
 	}
 	transform2DPartial(d, false, n)
 	tableSpectra.Add(1)
-	p := &Plan2D{rows: n, cols: m, pr: pr, pc: pc, spec: d.Data}
+	p := &Plan2D{rows: n, cols: slabCols, pr: pr, pc: pc, spec: d.Data}
 	p.scratch.New = func() any { return NewCMatrix(pr, pc) }
 	return p
 }
@@ -104,6 +144,28 @@ func (p *Plan2D) OutDims(ka, kb int) (rows, cols int) {
 // grow on first concurrent use.
 func (p *Plan2D) CorrelatePairValid(kernelA, kernelB []float64, ka, kb int,
 	dstA []float64, strideA int, dstB []float64, strideB int) {
+	_, outCols := p.OutDims(ka, kb)
+	p.CorrelatePairValidSub(kernelA, kernelB, ka, kb, outCols,
+		dstA, outCols*strideA, strideA, dstB, outCols*strideB, strideB)
+}
+
+// CorrelatePairValidSub is CorrelatePairValid with a restricted harvest:
+// the FFT round trip is bit-for-bit the same, but only the first subCols
+// columns of each valid output row are written, through independent row
+// and column strides:
+//
+//	dstA[r*rowStrideA + c*colStrideA] = correlation a at (r, c),  c < subCols
+//
+// This is the write-through shape of panel-mode pool maintenance: a slab
+// plan's valid region extends past its panel (into the overlap fringe
+// owned by the next panel), so the harvest stops at the panel width and
+// the row stride jumps to the panel's next row inside the full-width
+// plane. CorrelatePairValid is the subCols=outCols special case.
+//
+// When kernelB is nil, dstB is ignored (strides included).
+func (p *Plan2D) CorrelatePairValidSub(kernelA, kernelB []float64, ka, kb, subCols int,
+	dstA []float64, rowStrideA, colStrideA int,
+	dstB []float64, rowStrideB, colStrideB int) {
 	if ka <= 0 || kb <= 0 {
 		panic(fmt.Sprintf("fft: non-positive kernel dims %dx%d", ka, kb))
 	}
@@ -117,11 +179,14 @@ func (p *Plan2D) CorrelatePairValid(kernelA, kernelB []float64, ka, kb int,
 		panic(fmt.Sprintf("fft: kernel B length %d != %d*%d", len(kernelB), ka, kb))
 	}
 	outRows, outCols := p.OutDims(ka, kb)
-	positions := outRows * outCols
-	checkStride(len(dstA), strideA, positions, "A")
-	if kernelB != nil {
-		checkStride(len(dstB), strideB, positions, "B")
+	if subCols <= 0 || subCols > outCols {
+		panic(fmt.Sprintf("fft: harvest width %d outside valid output width %d", subCols, outCols))
 	}
+	checkSubStride(len(dstA), outRows, subCols, rowStrideA, colStrideA, "A")
+	if kernelB != nil {
+		checkSubStride(len(dstB), outRows, subCols, rowStrideB, colStrideB, "B")
+	}
+	correlations.Add(1)
 
 	scr := p.scratch.Get().(*CMatrix)
 	clear(scr.Data)
@@ -172,16 +237,17 @@ func (p *Plan2D) CorrelatePairValid(kernelA, kernelB []float64, ka, kb int,
 	transform2D(scr, true)
 	// Valid-region extraction: correlation a is the real plane,
 	// correlation b the imaginary plane. Rows are read contiguously and
-	// written through the caller's strides.
+	// written through the caller's strides, stopping at subCols.
 	for r := 0; r < outRows; r++ {
-		row := scr.Data[r*pc : r*pc+outCols]
-		pos := r * outCols
+		row := scr.Data[r*pc : r*pc+subCols]
+		baseA := r * rowStrideA
 		for c, v := range row {
-			dstA[(pos+c)*strideA] = real(v)
+			dstA[baseA+c*colStrideA] = real(v)
 		}
 		if kernelB != nil {
+			baseB := r * rowStrideB
 			for c, v := range row {
-				dstB[(pos+c)*strideB] = imag(v)
+				dstB[baseB+c*colStrideB] = imag(v)
 			}
 		}
 	}
@@ -197,12 +263,13 @@ func (p *Plan2D) CorrelateValid(kernel []float64, ka, kb int) []float64 {
 	return out
 }
 
-func checkStride(length, stride, positions int, which string) {
-	if stride <= 0 {
-		panic(fmt.Sprintf("fft: non-positive stride %d for output %s", stride, which))
+func checkSubStride(length, outRows, subCols, rowStride, colStride int, which string) {
+	if rowStride <= 0 || colStride <= 0 {
+		panic(fmt.Sprintf("fft: non-positive strides (%d,%d) for output %s",
+			rowStride, colStride, which))
 	}
-	if length < (positions-1)*stride+1 {
-		panic(fmt.Sprintf("fft: output %s length %d too short for %d positions at stride %d",
-			which, length, positions, stride))
+	if length < (outRows-1)*rowStride+(subCols-1)*colStride+1 {
+		panic(fmt.Sprintf("fft: output %s length %d too short for %dx%d positions at strides (%d,%d)",
+			which, length, outRows, subCols, rowStride, colStride))
 	}
 }

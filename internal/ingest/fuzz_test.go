@@ -1,0 +1,59 @@
+package ingest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzIngestRecord drives arbitrary bytes through the pushed-record
+// parser — the exact surface POST /v1/ingest exposes to the network.
+// The invariants: never panic, never allocate absurdly on a hostile
+// header (the tabfile dimension bounds are part of the record format),
+// and accept-then-reencode must round-trip to an equivalent record.
+func FuzzIngestRecord(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteRecord(&seed, "d2026-08-06", day(1), false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	var gz bytes.Buffer
+	if err := WriteRecord(&gz, "compressed", day(2), true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gz.Bytes())
+	f.Add([]byte("TREC"))
+	f.Add(seed.Bytes()[:12])
+	f.Add(append([]byte(nil), bytes.Repeat([]byte{0xff}, 64)...))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		label, tb, err := ReadRecord(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if label == "" || tb.Rows() <= 0 || tb.Cols() <= 0 {
+			t.Fatalf("accepted record with label %q dims %dx%d", label, tb.Rows(), tb.Cols())
+		}
+		for _, v := range tb.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("accepted record with non-finite cells")
+			}
+		}
+		var re bytes.Buffer
+		if err := WriteRecord(&re, label, tb, false); err != nil {
+			t.Fatalf("re-encoding an accepted record: %v", err)
+		}
+		label2, tb2, err := ReadRecord(&re)
+		if err != nil {
+			t.Fatalf("re-reading a re-encoded record: %v", err)
+		}
+		if label2 != label || tb2.Rows() != tb.Rows() || tb2.Cols() != tb.Cols() {
+			t.Fatal("re-encoded record is not equivalent")
+		}
+		for i, v := range tb.Data() {
+			if math.Float64bits(v) != math.Float64bits(tb2.Data()[i]) {
+				t.Fatal("re-encoded cells differ")
+			}
+		}
+	})
+}

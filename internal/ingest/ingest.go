@@ -1,0 +1,458 @@
+// Package ingest is the streaming half of the pipeline: it turns a
+// day-partitioned tabstore into a continuously maintained sketch pool
+// and a stream of published server snapshots.
+//
+// The tabstore is the write-ahead log. A pushed record (POST /v1/ingest
+// or tabmine-ingest) lands durably as a store day before the push is
+// acknowledged; the in-memory window table, the dyadic sketch pool, and
+// the served snapshot catch up asynchronously. A restart therefore
+// never loses acknowledged data: Resume compares the persisted pool's
+// high-water column against the store and replays exactly the missing
+// days.
+//
+// Pool maintenance is incremental. Pools run in panel mode
+// (core.PoolOptions.PanelCols), where appending day columns recomputes
+// only the panels whose overlap-save slab reaches the new columns —
+// byte-identical to a from-scratch build over the final table, at a
+// small fraction of the FFT work (core's append tests assert both
+// properties). When the sliding window overflows, whole oldest days are
+// trimmed with hysteresis (down to about half the window, not by one
+// day per append) and the pool is rebuilt once over the shorter window.
+//
+// Backpressure is explicit: days appended to the store but not yet
+// sketched form the pending backlog, and once it reaches QueueLen new
+// pushes are rejected with server.ErrIngestBacklog — mapped by the
+// server to 503 + Retry-After — before anything touches disk.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/tabstore"
+)
+
+// Options tunes an Ingester. PoolP, PoolK, and the Pool bounds are
+// required; the zero value of everything else gets defaults from New.
+type Options struct {
+	// PoolP, PoolK, PoolSeed are the sketch-pool parameters (the p of
+	// the Lp norm, sketch width, seed) passed to core.NewPool.
+	PoolP    float64
+	PoolK    int
+	PoolSeed uint64
+	// Pool carries the dyadic extent bounds, worker bound, estimator,
+	// and panel width. PanelCols 0 defaults to 32; BaseCol is managed
+	// by the ingester and must be left zero.
+	Pool core.PoolOptions
+	// WindowDays bounds the sliding window over the time axis, in whole
+	// store days. When the window exceeds it, the oldest days are
+	// trimmed down to about half the bound (hysteresis, so trims are
+	// rare) and the pool is rebuilt over the shorter window. 0 keeps
+	// every day forever.
+	WindowDays int
+	// QueueLen bounds the pending backlog: days durably appended but
+	// not yet incorporated into the pool. At the bound, pushes shed
+	// with server.ErrIngestBacklog (default 8).
+	QueueLen int
+	// PoolFile, when non-empty, persists the pool (atomically, in the
+	// checksummed snapshot format) after every rebuild, enabling
+	// crash-safe Resume.
+	PoolFile string
+	// Poll, when positive, re-reads the store manifest this often so
+	// days appended by another process are picked up (tail mode).
+	Poll time.Duration
+	// Compress gzip-compresses day files written for pushed records.
+	Compress bool
+	// Snapshot configures the published serving state. TileRows == 0
+	// disables snapshot publishing (the pool is still maintained).
+	Snapshot server.SnapshotConfig
+	// Publisher receives each freshly built snapshot (usually the
+	// query server). Nil disables publishing.
+	Publisher server.Publisher
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+const defaultPanelCols = 32
+
+// Ingester maintains the window table, sketch pool, and published
+// snapshot over a tabstore that grows by days.
+type Ingester struct {
+	opts  Options
+	store *tabstore.Store
+	wake  chan struct{}
+
+	// mu serializes store access and guards cursor; everything below
+	// it is owned by the Resume/Run goroutine.
+	mu     sync.Mutex
+	cursor int // store days already incorporated into the pool
+
+	winStart int          // first store day inside the window
+	base     int          // absolute column of winStart (== pool.BaseCol())
+	tb       *table.Table // the window's columns, stitched
+	pool     *core.Pool
+}
+
+// New builds an Ingester over an opened store. Call Resume to restore
+// persisted state and replay the backlog, then Run to process pushes.
+func New(store *tabstore.Store, opts Options) (*Ingester, error) {
+	if store == nil {
+		return nil, fmt.Errorf("ingest: nil store")
+	}
+	if opts.PoolP <= 0 || opts.PoolK <= 0 {
+		return nil, fmt.Errorf("ingest: PoolP and PoolK are required")
+	}
+	if opts.Pool.BaseCol != 0 || opts.Pool.Context != nil {
+		return nil, fmt.Errorf("ingest: Pool.BaseCol and Pool.Context are managed by the ingester")
+	}
+	if opts.Pool.PanelCols == 0 {
+		opts.Pool.PanelCols = defaultPanelCols
+	}
+	if opts.Pool.PanelCols < 0 {
+		return nil, fmt.Errorf("ingest: negative PanelCols")
+	}
+	if opts.WindowDays < 0 || opts.QueueLen < 0 {
+		return nil, fmt.Errorf("ingest: negative WindowDays or QueueLen")
+	}
+	if opts.QueueLen == 0 {
+		opts.QueueLen = 8
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Ingester{opts: opts, store: store, wake: make(chan struct{}, 1)}, nil
+}
+
+// Pool returns the current pool (nil before the first build). Owned by
+// the Resume/Run goroutine; other goroutines should query through the
+// published snapshots instead.
+func (ing *Ingester) Pool() *core.Pool { return ing.pool }
+
+// Pending reports how many store days await incorporation.
+func (ing *Ingester) Pending() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.store.NumDays() - ing.cursor
+}
+
+// IngestRecord implements server.Ingestor: parse one pushed record,
+// shed if the backlog is full, otherwise append it durably to the
+// store and wake the maintenance loop. The acknowledgement means "in
+// the write-ahead log", not "being served" — Pending in the result
+// says how far behind the serving state is.
+func (ing *Ingester) IngestRecord(ctx context.Context, body io.Reader) (*server.IngestResult, error) {
+	label, t, err := ReadRecord(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ing.mu.Lock()
+	pending := ing.store.NumDays() - ing.cursor
+	if pending >= ing.opts.QueueLen {
+		ing.mu.Unlock()
+		return nil, fmt.Errorf("ingest: %d days pending: %w", pending, server.ErrIngestBacklog)
+	}
+	if err := ing.store.AppendDay(label, t, ing.opts.Compress); err != nil {
+		ing.mu.Unlock()
+		return nil, err
+	}
+	res := &server.IngestResult{
+		Label: label, Cols: t.Cols(),
+		ColsTotal: ing.store.ColsTotal(), Pending: pending + 1,
+	}
+	ing.mu.Unlock()
+	ing.signal()
+	return res, nil
+}
+
+func (ing *Ingester) signal() {
+	select {
+	case ing.wake <- struct{}{}:
+	default: // a wakeup is already queued; the loop drains everything
+	}
+}
+
+// Resume restores the persisted pool (when PoolFile is set and holds a
+// usable snapshot), replays every store day past its high-water column,
+// and publishes the caught-up snapshot. The store is the authority: an
+// unusable or mismatched pool file just means a from-scratch rebuild.
+func (ing *Ingester) Resume(ctx context.Context) error {
+	if ing.opts.PoolFile != "" {
+		pool, err := core.LoadPoolFile(ing.opts.PoolFile)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing persisted yet.
+		case err != nil:
+			ing.opts.Logf("ingest: pool snapshot unusable (%v); rebuilding from the store", err)
+		default:
+			if err := ing.adopt(pool); err != nil {
+				ing.opts.Logf("ingest: persisted pool does not match the store (%v); rebuilding", err)
+			} else {
+				ing.opts.Logf("ingest: resumed pool at column %d of %d",
+					pool.HighWaterCols(), ing.store.ColsTotal())
+			}
+		}
+	}
+	if err := ing.drain(ctx); err != nil {
+		return err
+	}
+	// Publish even when nothing needed replay: a restart with a current
+	// pool file must still hand the server its first snapshot.
+	if err := ing.publish(ctx); err != nil {
+		ing.opts.Logf("ingest: snapshot not published: %v", err)
+	}
+	return nil
+}
+
+// publish builds a serving snapshot over the current window and hands
+// it to the Publisher. No-op without a Publisher, a snapshot geometry,
+// or a pool.
+func (ing *Ingester) publish(ctx context.Context) error {
+	if ing.opts.Publisher == nil || ing.opts.Snapshot.TileRows <= 0 || ing.pool == nil {
+		return nil
+	}
+	sn, err := server.BuildSnapshot(ctx, ing.tb, ing.pool, ing.opts.Snapshot)
+	if err != nil {
+		return err
+	}
+	ing.opts.Publisher.Publish(sn)
+	return nil
+}
+
+// adopt validates a loaded pool against the store and the configured
+// parameters, reloads its window table, and positions the cursor after
+// the last day the pool covers.
+func (ing *Ingester) adopt(pool *core.Pool) error {
+	if pool.PanelCols() != ing.opts.Pool.PanelCols {
+		return fmt.Errorf("panel width %d, configured %d", pool.PanelCols(), ing.opts.Pool.PanelCols)
+	}
+	if pool.P() != ing.opts.PoolP || pool.K() != ing.opts.PoolK {
+		return fmt.Errorf("pool is p=%g k=%d, configured p=%g k=%d",
+			pool.P(), pool.K(), ing.opts.PoolP, ing.opts.PoolK)
+	}
+	rows, _ := pool.TableDims()
+	if rows != ing.store.Rows() {
+		return fmt.Errorf("pool has %d rows, store has %d", rows, ing.store.Rows())
+	}
+	start, err := ing.dayAtColumn(pool.BaseCol())
+	if err != nil {
+		return fmt.Errorf("base column %d: %w", pool.BaseCol(), err)
+	}
+	end, err := ing.dayAtColumn(pool.HighWaterCols())
+	if err != nil {
+		return fmt.Errorf("high-water column %d: %w", pool.HighWaterCols(), err)
+	}
+	tb, err := ing.store.LoadRange(start, end)
+	if err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.cursor = end
+	ing.mu.Unlock()
+	ing.winStart, ing.base = start, pool.BaseCol()
+	ing.tb, ing.pool = tb, pool
+	return nil
+}
+
+// dayAtColumn maps an absolute column to the store day starting exactly
+// there. A column landing mid-day means the pool and store disagree on
+// day boundaries (a store rewritten or fscked underneath the pool).
+func (ing *Ingester) dayAtColumn(col int) (int, error) {
+	off := 0
+	for i := 0; i <= ing.store.NumDays(); i++ {
+		if off == col {
+			return i, nil
+		}
+		if off > col || i == ing.store.NumDays() {
+			break
+		}
+		w, err := ing.store.DayCols(i)
+		if err != nil {
+			return 0, err
+		}
+		off += w
+	}
+	return 0, fmt.Errorf("no day boundary at column %d", col)
+}
+
+// Run processes pushed days until ctx is cancelled: drain the backlog,
+// then sleep until a push wakes us (or the poll ticker refreshes the
+// manifest in tail mode). Errors inside a drain are logged and retried
+// on the next wakeup — the store already holds the data, so nothing is
+// lost by waiting.
+func (ing *Ingester) Run(ctx context.Context) error {
+	var tickC <-chan time.Time
+	if ing.opts.Poll > 0 {
+		tick := time.NewTicker(ing.opts.Poll)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		if err := ing.drain(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			ing.opts.Logf("ingest: %v (will retry on next wakeup)", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ing.wake:
+		case <-tickC:
+			ing.mu.Lock()
+			err := ing.store.Refresh()
+			ing.mu.Unlock()
+			if err != nil {
+				ing.opts.Logf("ingest: %v", err)
+			}
+		}
+	}
+}
+
+// drain incorporates every pending day, one step per batch.
+func (ing *Ingester) drain(ctx context.Context) error {
+	for {
+		did, err := ing.step(ctx)
+		if err != nil || !did {
+			return err
+		}
+	}
+}
+
+// step incorporates the days appended since the cursor: extend the
+// window table, append to (or first-build) the pool, trim the window if
+// it overflowed, persist the pool, publish a snapshot, and only then
+// advance the cursor. The expensive pool work runs outside the lock so
+// pushes keep landing in the store during a rebuild.
+func (ing *Ingester) step(ctx context.Context) (bool, error) {
+	ing.mu.Lock()
+	target := ing.store.NumDays()
+	if ing.cursor >= target {
+		ing.mu.Unlock()
+		return false, nil
+	}
+	rows := ing.store.Rows()
+	oldCols := 0
+	if ing.tb != nil {
+		oldCols = ing.tb.Cols()
+	}
+	added := 0
+	for i := ing.cursor; i < target; i++ {
+		w, err := ing.store.DayCols(i)
+		if err != nil {
+			ing.mu.Unlock()
+			return false, err
+		}
+		added += w
+	}
+	// Stitch old window + new days into the extended window table. The
+	// old columns are copied bit-for-bit, which is exactly what
+	// Pool.Append requires of its argument.
+	next := table.New(rows, oldCols+added)
+	if ing.tb != nil {
+		for r := 0; r < rows; r++ {
+			copy(next.Row(r)[:oldCols], ing.tb.Row(r))
+		}
+	}
+	off := oldCols
+	err := ing.store.IterDays(ing.cursor, target, func(i int, label string, t *table.Table) error {
+		for r := 0; r < rows; r++ {
+			copy(next.Row(r)[off:off+t.Cols()], t.Row(r))
+		}
+		off += t.Cols()
+		return nil
+	})
+	ing.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+
+	winStart, base := ing.winStart, ing.base
+	var pool *core.Pool
+	if ing.pool == nil {
+		pool, err = ing.newPool(ctx, next, base)
+	} else {
+		pool, err = ing.pool.Append(ctx, next)
+	}
+	if err != nil {
+		return false, err
+	}
+
+	if ing.opts.WindowDays > 0 && target-winStart > ing.opts.WindowDays {
+		// Hysteresis: trim to about half the bound so the rebuild cost
+		// amortizes over many appends instead of recurring per day.
+		keep := (ing.opts.WindowDays + 1) / 2
+		newStart := target - keep
+		ing.mu.Lock()
+		drop := 0
+		for i := winStart; i < newStart && err == nil; i++ {
+			var w int
+			w, err = ing.store.DayCols(i)
+			drop += w
+		}
+		ing.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		trimmed := table.New(rows, next.Cols()-drop)
+		for r := 0; r < rows; r++ {
+			copy(trimmed.Row(r), next.Row(r)[drop:])
+		}
+		pool, err = ing.newPool(ctx, trimmed, base+drop)
+		if err != nil {
+			return false, err
+		}
+		ing.opts.Logf("ingest: window trimmed to days [%d, %d) (%d cols dropped)", newStart, target, drop)
+		next, winStart, base = trimmed, newStart, base+drop
+	}
+
+	if ing.opts.PoolFile != "" {
+		if err := core.SavePoolFile(ing.opts.PoolFile, pool); err != nil {
+			return false, err
+		}
+	}
+	ing.winStart, ing.base = winStart, base
+	ing.tb, ing.pool = next, pool
+	if err := ing.publish(ctx); err != nil {
+		// The pool is fine; only the serving geometry failed (e.g. the
+		// window is not yet tileable). Keep ingesting.
+		ing.opts.Logf("ingest: snapshot not published: %v", err)
+	}
+	ing.mu.Lock()
+	ing.cursor = target
+	ing.mu.Unlock()
+	ing.opts.Logf("ingest: pool at column %d (window days [%d, %d))",
+		pool.HighWaterCols(), winStart, target)
+	return true, nil
+}
+
+func (ing *Ingester) newPool(ctx context.Context, t *table.Table, base int) (*core.Pool, error) {
+	opts := ing.opts.Pool
+	opts.BaseCol = base
+	opts.Context = ctx
+	return core.NewPool(t, ing.opts.PoolP, ing.opts.PoolK, ing.opts.PoolSeed, opts)
+}
+
+// Wake prompts the maintenance loop to re-read the manifest and drain
+// whatever it finds — the manual override tabmine-serve wires to
+// SIGHUP, for stores grown by another process between polls (or with
+// polling disabled).
+func (ing *Ingester) Wake() {
+	ing.mu.Lock()
+	err := ing.store.Refresh()
+	ing.mu.Unlock()
+	if err != nil {
+		ing.opts.Logf("ingest: %v", err)
+	}
+	ing.signal()
+}

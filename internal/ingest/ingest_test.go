@@ -1,0 +1,469 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/fft"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/tabstore"
+	"repro/internal/workload"
+)
+
+const (
+	testRows    = 16
+	testDayCols = 8
+)
+
+func testOptions() Options {
+	return Options{
+		PoolP: 1, PoolK: 4, PoolSeed: 7,
+		Pool: core.PoolOptions{
+			MinLogRows: 1, MaxLogRows: 3, MinLogCols: 1, MaxLogCols: 3,
+			PanelCols: 8,
+		},
+	}
+}
+
+func newTestStore(t *testing.T) (*tabstore.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := tabstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, dir
+}
+
+func day(seed uint64) *table.Table {
+	return workload.Random(testRows, testDayCols, 100, seed)
+}
+
+// push frames a day as a wire record and pushes it through the
+// server.Ingestor entry point, exactly as /v1/ingest would.
+func push(t *testing.T, ing *Ingester, label string, day *table.Table) (*server.IngestResult, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, label, day, false); err != nil {
+		t.Fatal(err)
+	}
+	return ing.IngestRecord(context.Background(), &buf)
+}
+
+func mustPush(t *testing.T, ing *Ingester, label string, day *table.Table) {
+	t.Helper()
+	if _, err := push(t, ing, label, day); err != nil {
+		t.Fatalf("push %s: %v", label, err)
+	}
+}
+
+// poolBytes is the byte-identity yardstick: the persisted encoding
+// covers every lane byte, seed, and parameter, so equal bytes mean
+// equal pools.
+func poolBytes(t *testing.T, pl *core.Pool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.SavePool(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// scratchPool builds the reference pool from scratch over store days
+// [from, to), with the base column an incremental pool over the same
+// window would carry.
+func scratchPool(t *testing.T, st *tabstore.Store, from, to int, opts Options) *core.Pool {
+	t.Helper()
+	tb, err := st.LoadRange(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := st.ColOffset(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := opts.Pool
+	po.BaseCol = base
+	pl, err := core.NewPool(tb, opts.PoolP, opts.PoolK, opts.PoolSeed, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPushAndIncrementalMaintenance(t *testing.T) {
+	st, _ := newTestStore(t)
+	ing, err := New(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		mustPush(t, ing, fmt.Sprintf("d%02d", i), day(uint64(i)))
+	}
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Two more arrive after the first build: these take the Append path.
+	for i := 2; i < 4; i++ {
+		mustPush(t, ing, fmt.Sprintf("d%02d", i), day(uint64(i)))
+	}
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", ing.Pending())
+	}
+	if got, want := ing.Pool().HighWaterCols(), st.ColsTotal(); got != want {
+		t.Fatalf("HighWaterCols = %d, store has %d", got, want)
+	}
+	want := poolBytes(t, scratchPool(t, st, 0, 4, ing.opts))
+	if !bytes.Equal(poolBytes(t, ing.Pool()), want) {
+		t.Fatal("incrementally maintained pool differs from a from-scratch build")
+	}
+}
+
+func TestBacklogSheds(t *testing.T) {
+	st, _ := newTestStore(t)
+	opts := testOptions()
+	opts.QueueLen = 2
+	ing, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d00", day(0))
+	mustPush(t, ing, "d01", day(1))
+	_, err = push(t, ing, "d02", day(2))
+	if !errors.Is(err, server.ErrIngestBacklog) {
+		t.Fatalf("push over the backlog bound: %v, want ErrIngestBacklog", err)
+	}
+	if st.NumDays() != 2 {
+		t.Fatalf("shed push still reached the store: %d days", st.NumDays())
+	}
+	// Draining frees the backlog and the retry lands.
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d02", day(2))
+}
+
+// Crash-safe resume: the store (the WAL) runs ahead of the persisted
+// pool; a restart replays exactly the missing days and ends
+// byte-identical to a from-scratch build — at less FFT work.
+func TestResumeReplaysMissingDays(t *testing.T) {
+	st, dir := newTestStore(t)
+	opts := testOptions()
+	opts.PoolFile = filepath.Join(t.TempDir(), "pool.skpo")
+	ing, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustPush(t, ing, fmt.Sprintf("d%02d", i), day(uint64(i)))
+	}
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: one more day lands durably, but the process dies
+	// before the pool catches up.
+	mustPush(t, ing, "d03", day(3))
+
+	st2, err := tabstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing2, err := New(st2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fft.CorrelationCount()
+	if err := ing2.Resume(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resumeCorr := fft.CorrelationCount() - before
+
+	before = fft.CorrelationCount()
+	want := poolBytes(t, scratchPool(t, st2, 0, 4, opts))
+	scratchCorr := fft.CorrelationCount() - before
+
+	if !bytes.Equal(poolBytes(t, ing2.Pool()), want) {
+		t.Fatal("resumed pool differs from a from-scratch build")
+	}
+	if resumeCorr >= scratchCorr {
+		t.Fatalf("resume ran %d correlations, not fewer than the %d of a full rebuild",
+			resumeCorr, scratchCorr)
+	}
+	t.Logf("resume: %d correlations vs %d from scratch", resumeCorr, scratchCorr)
+}
+
+// A mismatched pool file (different parameters than configured) is
+// discarded and the store rebuilds the truth.
+func TestResumeDiscardsMismatchedPool(t *testing.T) {
+	st, _ := newTestStore(t)
+	opts := testOptions()
+	opts.PoolFile = filepath.Join(t.TempDir(), "pool.skpo")
+	ing, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d00", day(0))
+	mustPush(t, ing, "d01", day(1))
+
+	// Persist a pool with a different k where the ingester expects its own.
+	other := opts
+	other.PoolK = 8
+	if err := core.SavePoolFile(opts.PoolFile, scratchPool(t, st, 0, 1, other)); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	opts.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	ing2, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Resume(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(poolBytes(t, ing2.Pool()), poolBytes(t, scratchPool(t, st, 0, 2, opts))) {
+		t.Fatal("resume after discarding a mismatched pool is not a clean rebuild")
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "does not match") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discard was not logged: %q", logged)
+	}
+}
+
+// A torn append — the process dies mid-write of a day file — must leave
+// the store ingestable: the injected-fault push fails cleanly without a
+// manifest entry, the stray temp of a crashed write is swept on reopen,
+// and the pool ends byte-identical to a from-scratch build.
+func TestTornAppendRecovery(t *testing.T) {
+	st, dir := newTestStore(t)
+	ing, err := New(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d00", day(0))
+	mustPush(t, ing, "d01", day(1))
+
+	// Fault injection: the first write of the next day file tears.
+	atomicio.TestWrapWriter = func(path string, w io.Writer) io.Writer {
+		if strings.Contains(filepath.Base(path), "day-") {
+			return &faultinject.Writer{W: w, FailAt: 1, Short: true}
+		}
+		return w
+	}
+	defer func() { atomicio.TestWrapWriter = nil }()
+	if _, err := push(t, ing, "d02", day(2)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn push: %v, want ErrInjected", err)
+	}
+	atomicio.TestWrapWriter = nil
+	if st.NumDays() != 2 {
+		t.Fatalf("torn push left %d manifest days, want 2", st.NumDays())
+	}
+
+	// A crash at the worst moment leaves the temp file behind instead;
+	// plant one and reopen, as a restarting process would.
+	torn := filepath.Join(dir, "day-0002.tabf.tmp-crashed")
+	if err := os.WriteFile(torn, []byte("partial bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := tabstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray temp not swept on reopen: %v", err)
+	}
+	ing2, err := New(st2, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Resume(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing2, "d02", day(2))
+	if err := ing2.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(poolBytes(t, ing2.Pool()), poolBytes(t, scratchPool(t, st2, 0, 3, ing2.opts))) {
+		t.Fatal("pool after torn-append recovery differs from a from-scratch build")
+	}
+}
+
+// Cancellation mid-rebuild publishes nothing and advances nothing; the
+// next drain completes the same work byte-identically.
+func TestMidRebuildCancellation(t *testing.T) {
+	st, _ := newTestStore(t)
+	ing, err := New(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d00", day(0))
+	mustPush(t, ing, "d01", day(1))
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hw := ing.Pool().HighWaterCols()
+	mustPush(t, ing, "d02", day(2))
+	mustPush(t, ing, "d03", day(3))
+
+	ctx := faultinject.CancelAfterChecks(context.Background(), 3)
+	if err := ing.drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled drain: %v, want context.Canceled", err)
+	}
+	if ing.Pending() != 2 {
+		t.Fatalf("cancelled drain advanced the cursor: %d pending, want 2", ing.Pending())
+	}
+	if ing.Pool().HighWaterCols() != hw {
+		t.Fatal("cancelled drain mutated the pool")
+	}
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(poolBytes(t, ing.Pool()), poolBytes(t, scratchPool(t, st, 0, 4, ing.opts))) {
+		t.Fatal("drain after cancellation differs from a from-scratch build")
+	}
+}
+
+func TestWindowTrimHysteresis(t *testing.T) {
+	st, _ := newTestStore(t)
+	opts := testOptions()
+	opts.WindowDays = 4
+	ing, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mustPush(t, ing, fmt.Sprintf("d%02d", i), day(uint64(i)))
+		if err := ing.drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Day 4 overflowed the 4-day window and trimmed down to 2 kept days
+	// (hysteresis), so after day 5 the window is days [3, 6).
+	if ing.winStart != 3 {
+		t.Fatalf("window starts at day %d, want 3", ing.winStart)
+	}
+	base, err := st.ColOffset(ing.winStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Pool().BaseCol() != base {
+		t.Fatalf("pool BaseCol = %d, want %d", ing.Pool().BaseCol(), base)
+	}
+	if got, want := ing.Pool().HighWaterCols(), st.ColsTotal(); got != want {
+		t.Fatalf("HighWaterCols = %d, want %d", got, want)
+	}
+	if !bytes.Equal(poolBytes(t, ing.Pool()), poolBytes(t, scratchPool(t, st, 3, 6, opts))) {
+		t.Fatal("trimmed-window pool differs from a from-scratch build over the window")
+	}
+}
+
+type capturingPublisher struct {
+	snaps []*server.Snapshot
+}
+
+func (p *capturingPublisher) Publish(sn *server.Snapshot) { p.snaps = append(p.snaps, sn) }
+
+func TestPublishesSnapshots(t *testing.T) {
+	st, _ := newTestStore(t)
+	pub := &capturingPublisher{}
+	opts := testOptions()
+	opts.Publisher = pub
+	opts.Snapshot = server.SnapshotConfig{TileRows: 8, TileCols: 8}
+	ing, err := New(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d00", day(0))
+	mustPush(t, ing, "d01", day(1))
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mustPush(t, ing, "d02", day(2))
+	if err := ing.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.snaps) != 2 {
+		t.Fatalf("published %d snapshots, want 2", len(pub.snaps))
+	}
+	last := pub.snaps[len(pub.snaps)-1]
+	if last.Table().Cols() != st.ColsTotal() {
+		t.Fatalf("published snapshot over %d cols, store has %d", last.Table().Cols(), st.ColsTotal())
+	}
+	if last.NumTiles() != (testRows/8)*(st.ColsTotal()/8) {
+		t.Fatalf("published snapshot has %d tiles", last.NumTiles())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	tb := day(9)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteRecord(&buf, "d2026-08-06", tb, compress); err != nil {
+			t.Fatal(err)
+		}
+		label, got, err := ReadRecord(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != "d2026-08-06" {
+			t.Fatalf("label %q", label)
+		}
+		if !bytes.Equal(float64Bytes(got.Data()), float64Bytes(tb.Data())) {
+			t.Fatal("cells did not round-trip")
+		}
+	}
+}
+
+func float64Bytes(xs []float64) []byte {
+	var buf bytes.Buffer
+	for _, x := range xs {
+		fmt.Fprintf(&buf, "%x;", x)
+	}
+	return buf.Bytes()
+}
+
+func TestRecordRejects(t *testing.T) {
+	tb := day(10)
+	var ok bytes.Buffer
+	if err := WriteRecord(&ok, "d00", tb, false); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("XREC"), ok.Bytes()[4:]...),
+		"truncated label": ok.Bytes()[:11],
+		"truncated table": ok.Bytes()[:ok.Len()-9],
+	}
+	for name, raw := range cases {
+		if _, _, err := ReadRecord(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := WriteRecord(io.Discard, "bad/label", tb, false); err == nil {
+		t.Error("separator label accepted")
+	}
+	if err := WriteRecord(io.Discard, "", tb, false); err == nil {
+		t.Error("empty label accepted")
+	}
+	if err := WriteRecord(io.Discard, "sp ace", tb, false); err == nil {
+		t.Error("label with a space accepted")
+	}
+}

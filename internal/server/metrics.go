@@ -12,6 +12,11 @@ var (
 	mDegraded = expvar.NewInt("tabmine_requests_degraded")
 	mTimedOut = expvar.NewInt("tabmine_requests_timedout")
 	mReloads  = expvar.NewInt("tabmine_snapshot_reloads")
+
+	mIngest         = expvar.NewInt("tabmine_ingest_records")
+	mIngestAccepted = expvar.NewInt("tabmine_ingest_accepted")
+	mIngestShed     = expvar.NewInt("tabmine_ingest_shed")
+	mIngestErrors   = expvar.NewInt("tabmine_ingest_errors")
 )
 
 // Stats is a point-in-time read of the serving counters.
@@ -22,6 +27,11 @@ type Stats struct {
 	Degraded int64 // sketch-tier answers to auto queries (load/deadline)
 	TimedOut int64 // 504s (deadline expired queued or mid-computation)
 	Reloads  int64 // snapshot swaps
+
+	IngestRecords  int64 // POST /v1/ingest bodies received
+	IngestAccepted int64 // records durably appended
+	IngestShed     int64 // 503s from a full ingest backlog
+	IngestErrors   int64 // malformed records / ingest failures
 }
 
 // ReadStats samples the process-global counters.
@@ -33,5 +43,10 @@ func ReadStats() Stats {
 		Degraded: mDegraded.Value(),
 		TimedOut: mTimedOut.Value(),
 		Reloads:  mReloads.Value(),
+
+		IngestRecords:  mIngest.Value(),
+		IngestAccepted: mIngestAccepted.Value(),
+		IngestShed:     mIngestShed.Value(),
+		IngestErrors:   mIngestErrors.Value(),
 	}
 }

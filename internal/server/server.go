@@ -68,6 +68,10 @@ type Config struct {
 	// 10s and 30s).
 	ReadHeaderTimeout time.Duration
 	WriteTimeout      time.Duration
+	// Ingestor, when non-nil, enables POST /v1/ingest: pushed
+	// day-column records stream to it and its backlog errors map to
+	// 503 + Retry-After. Nil answers /v1/ingest with 404.
+	Ingestor Ingestor
 	// Hook, when non-nil, runs at the start of query execution (inside
 	// the admission slot) with the operation name. A non-nil error
 	// fails the request with 500. Tests wire it to faultinject (Gate
@@ -136,6 +140,7 @@ func New(snap *Snapshot, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/distance", s.wrap("distance", s.opDistance))
 	s.mux.HandleFunc("/v1/nearest", s.wrap("nearest", s.opNearest))
 	s.mux.HandleFunc("/v1/assign", s.wrap("assign", s.opAssign))
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.hs = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: cfg.ReadHeaderTimeout,

@@ -155,13 +155,13 @@ func TestDistanceTiers(t *testing.T) {
 	t.Logf("exact %.4g, sketch %.4g (ratio %.3f)", ref, sk.Distance, sk.Distance/ref)
 
 	for _, bad := range []string{
-		"?" + q + "&mode=wat",                // unknown mode
-		"?a=0,0,6,7",                         // missing b
-		"?a=0,0,6,7&b=nope",                  // malformed rect
-		"?a=0,0,6,7&b=0,0,7,6",               // mismatched sizes
-		"?a=0,0,6,7&b=60,60,6,7",             // b outside the table
-		"?" + q + "&timeout_ms=0",            // non-positive timeout
-		"?" + q + "&timeout_ms=soon",         // malformed timeout
+		"?" + q + "&mode=wat",        // unknown mode
+		"?a=0,0,6,7",                 // missing b
+		"?a=0,0,6,7&b=nope",          // malformed rect
+		"?a=0,0,6,7&b=0,0,7,6",       // mismatched sizes
+		"?a=0,0,6,7&b=60,60,6,7",     // b outside the table
+		"?" + q + "&timeout_ms=0",    // non-positive timeout
+		"?" + q + "&timeout_ms=soon", // malformed timeout
 	} {
 		if code, _, body := get(t, ts.URL+"/v1/distance"+bad); code != 400 {
 			t.Errorf("GET %s: status %d, want 400 (body %s)", bad, code, body)

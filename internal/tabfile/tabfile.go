@@ -77,8 +77,23 @@ func Write(w io.Writer, t *table.Table, compress bool) error {
 	return nil
 }
 
-// Read decodes a table written by Write.
-func Read(r io.Reader) (*table.Table, error) {
+// RowReader streams a binary table row by row, so a consumer can copy
+// cells straight into their final location (a column range of a wider
+// stitched table, say) without ever materializing the whole file as its
+// own table. The memory high-water mark is one row.
+type RowReader struct {
+	rows, cols int
+	row        int
+	br         *bufio.Reader
+	gz         *gzip.Reader // non-nil when the payload is compressed
+	cells      []float64    // reused across Next calls
+	buf        []byte
+}
+
+// NewRowReader parses the header of a table written by Write and returns
+// a reader positioned at its first row. Callers must Close it (a no-op
+// for uncompressed payloads, the gzip-trailer check otherwise).
+func NewRowReader(r io.Reader) (*RowReader, error) {
 	header := make([]byte, 4+4+8+8+4)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, fmt.Errorf("tabfile: reading header: %w", err)
@@ -98,28 +113,69 @@ func Read(r io.Reader) (*table.Table, error) {
 	if rows == 0 || cols == 0 || rows > maxCells || cols > maxCells || rows*cols > maxCells {
 		return nil, fmt.Errorf("tabfile: implausible dimensions %dx%d", rows, cols)
 	}
+	rr := &RowReader{rows: int(rows), cols: int(cols)}
 	body := r
 	if flags&flagGzip != 0 {
 		gz, err := gzip.NewReader(r)
 		if err != nil {
 			return nil, fmt.Errorf("tabfile: opening gzip stream: %w", err)
 		}
-		defer gz.Close()
+		rr.gz = gz
 		body = gz
 	}
-	t := table.New(int(rows), int(cols))
-	br := bufio.NewReader(body)
-	var buf [8]byte
-	data := t.Data()
-	for i := range data {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("tabfile: reading cell %d: %w", i, err)
-		}
-		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	rr.br = bufio.NewReader(body)
+	rr.cells = make([]float64, rr.cols)
+	rr.buf = make([]byte, 8*rr.cols)
+	return rr, nil
+}
+
+// Dims returns the table dimensions from the header.
+func (rr *RowReader) Dims() (rows, cols int) { return rr.rows, rr.cols }
+
+// Next returns the cells of the next row, or io.EOF after the last row.
+// The returned slice is reused by the following Next call — copy it out
+// if it must survive. Non-finite cells fail with table.ErrNonFinite, the
+// same hardening contract as Read.
+func (rr *RowReader) Next() ([]float64, error) {
+	if rr.row >= rr.rows {
+		return nil, io.EOF
+	}
+	if _, err := io.ReadFull(rr.br, rr.buf); err != nil {
+		return nil, fmt.Errorf("tabfile: reading cell %d: %w", rr.row*rr.cols, err)
+	}
+	for c := range rr.cells {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rr.buf[8*c:]))
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("tabfile: cell %d is %v: %w", i, v, table.ErrNonFinite)
+			return nil, fmt.Errorf("tabfile: cell %d is %v: %w", rr.row*rr.cols+c, v, table.ErrNonFinite)
 		}
-		data[i] = v
+		rr.cells[c] = v
+	}
+	rr.row++
+	return rr.cells, nil
+}
+
+// Close releases the decompressor, if any.
+func (rr *RowReader) Close() error {
+	if rr.gz != nil {
+		return rr.gz.Close()
+	}
+	return nil
+}
+
+// Read decodes a table written by Write.
+func Read(r io.Reader) (*table.Table, error) {
+	rr, err := NewRowReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer rr.Close()
+	t := table.New(rr.rows, rr.cols)
+	for i := 0; i < rr.rows; i++ {
+		cells, err := rr.Next()
+		if err != nil {
+			return nil, err
+		}
+		copy(t.Row(i), cells)
 	}
 	return t, nil
 }

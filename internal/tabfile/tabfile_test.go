@@ -165,3 +165,73 @@ func TestReadCSVErrors(t *testing.T) {
 		t.Error("empty CSV: expected error")
 	}
 }
+
+// RowReader must stream exactly the rows Read would return, compressed
+// or not, with the same non-finite hardening.
+func TestRowReaderStreamsRows(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		tb := workload.Random(9, 5, 100, 3)
+		var buf bytes.Buffer
+		if err := Write(&buf, tb, compress); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := NewRowReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, cols := rr.Dims()
+		if rows != 9 || cols != 5 {
+			t.Fatalf("compress=%v: dims %dx%d", compress, rows, cols)
+		}
+		for r := 0; r < rows; r++ {
+			cells, err := rr.Next()
+			if err != nil {
+				t.Fatalf("compress=%v row %d: %v", compress, r, err)
+			}
+			for c, v := range cells {
+				if math.Float64bits(v) != math.Float64bits(tb.At(r, c)) {
+					t.Fatalf("compress=%v cell (%d,%d): %v != %v", compress, r, c, v, tb.At(r, c))
+				}
+			}
+		}
+		if _, err := rr.Next(); err == nil {
+			t.Fatalf("compress=%v: Next past last row must return io.EOF", compress)
+		}
+		if err := rr.Close(); err != nil {
+			t.Fatalf("compress=%v: Close: %v", compress, err)
+		}
+	}
+}
+
+func TestRowReaderRejectsNonFiniteAndTruncation(t *testing.T) {
+	tb := table.New(3, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tb, false); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Patch a NaN into the second row's payload.
+	nan := make([]byte, 8)
+	for i := range nan {
+		nan[i] = 0xff
+	}
+	copy(raw[28+3*8:], nan)
+	rr, err := NewRowReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Next(); err != nil {
+		t.Fatalf("first row should be clean: %v", err)
+	}
+	if _, err := rr.Next(); !errors.Is(err, table.ErrNonFinite) {
+		t.Fatalf("NaN row error = %v, want ErrNonFinite", err)
+	}
+	// Truncated payload: the failing row reports an error, not a panic.
+	rr2, err := NewRowReader(bytes.NewReader(raw[:28+8]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr2.Next(); err == nil {
+		t.Fatal("truncated payload: expected error")
+	}
+}

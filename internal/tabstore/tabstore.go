@@ -315,20 +315,143 @@ func (s *Store) quarantine(file string) error {
 	return nil
 }
 
+// DayCols returns the column width of day i.
+func (s *Store) DayCols(i int) (int, error) {
+	if i < 0 || i >= len(s.m.Days) {
+		return 0, fmt.Errorf("tabstore: day %d out of range [0, %d)", i, len(s.m.Days))
+	}
+	return s.m.Days[i].Cols, nil
+}
+
+// ColsTotal returns the total column count across every day — the
+// store-side high-water mark an ingester compares a pool's
+// HighWaterCols against to decide what to replay after a restart.
+func (s *Store) ColsTotal() int {
+	total := 0
+	for _, d := range s.m.Days {
+		total += d.Cols
+	}
+	return total
+}
+
+// ColOffset returns the absolute column at which day i starts (the sum
+// of all earlier days' widths). i == NumDays() is allowed and returns
+// ColsTotal().
+func (s *Store) ColOffset(i int) (int, error) {
+	if i < 0 || i > len(s.m.Days) {
+		return 0, fmt.Errorf("tabstore: day %d out of range [0, %d]", i, len(s.m.Days))
+	}
+	off := 0
+	for _, d := range s.m.Days[:i] {
+		off += d.Cols
+	}
+	return off, nil
+}
+
+// Refresh re-reads the manifest from disk, picking up days appended by
+// another process (the tail-a-store ingest mode). The refreshed view
+// must extend the current one — same version, same row count once set,
+// at least as many days — otherwise the store was rewritten underneath
+// us and Refresh reports it instead of silently adopting the new world.
+func (s *Store) Refresh() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return fmt.Errorf("tabstore: refreshing manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("tabstore: refreshing manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("tabstore: unsupported manifest version %d", m.Version)
+	}
+	if len(m.Days) < len(s.m.Days) {
+		return fmt.Errorf("tabstore: refreshed manifest has %d days, store had %d (truncated underneath us?)",
+			len(m.Days), len(s.m.Days))
+	}
+	if s.m.Rows != 0 && m.Rows != s.m.Rows {
+		return fmt.Errorf("tabstore: refreshed manifest has %d rows, store had %d", m.Rows, s.m.Rows)
+	}
+	for i, d := range s.m.Days {
+		if m.Days[i] != d {
+			return fmt.Errorf("tabstore: refreshed manifest rewrote day %d (%q)", i, d.Label)
+		}
+	}
+	s.m = m
+	return nil
+}
+
+// IterDays loads days [from, to) one at a time in order, calling fn with
+// the day index, its label, and its table. Iteration stops at the first
+// error (fn's own errors included). The replay path of the streaming
+// ingester is built on this: each missing day is applied and released
+// before the next is read, so catch-up memory is one day, not the range.
+func (s *Store) IterDays(from, to int, fn func(i int, label string, t *table.Table) error) error {
+	if from < 0 || to > len(s.m.Days) || from > to {
+		return fmt.Errorf("tabstore: range [%d, %d) invalid for %d days", from, to, len(s.m.Days))
+	}
+	for i := from; i < to; i++ {
+		t, err := s.Day(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, s.m.Days[i].Label, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LoadRange loads days [from, to) stitched into one table along the time
-// axis.
+// axis. Day files stream row by row directly into their column range of
+// the destination, so peak memory is the result plus a single row — not
+// the result plus a whole-day copy per day (what the old
+// load-then-Stitch implementation held).
 func (s *Store) LoadRange(from, to int) (*table.Table, error) {
 	if from < 0 || to > len(s.m.Days) || from >= to {
 		return nil, fmt.Errorf("tabstore: range [%d, %d) invalid for %d days",
 			from, to, len(s.m.Days))
 	}
-	parts := make([]*table.Table, 0, to-from)
+	total := 0
+	for _, d := range s.m.Days[from:to] {
+		total += d.Cols
+	}
+	out := table.New(s.m.Rows, total)
+	off := 0
 	for i := from; i < to; i++ {
-		t, err := s.Day(i)
-		if err != nil {
+		if err := s.streamDayInto(i, out, off); err != nil {
 			return nil, err
 		}
-		parts = append(parts, t)
+		off += s.m.Days[i].Cols
 	}
-	return table.Stitch(parts...)
+	return out, nil
+}
+
+// streamDayInto copies day i into dst's columns [colOff, colOff+cols)
+// row by row through a tabfile.RowReader.
+func (s *Store) streamDayInto(i int, dst *table.Table, colOff int) error {
+	d := s.m.Days[i]
+	f, err := os.Open(filepath.Join(s.dir, d.File))
+	if err != nil {
+		return fmt.Errorf("tabstore: %w", err)
+	}
+	defer f.Close()
+	rr, err := tabfile.NewRowReader(f)
+	if err != nil {
+		return err
+	}
+	defer rr.Close()
+	rows, cols := rr.Dims()
+	if rows != s.m.Rows || cols != d.Cols {
+		return fmt.Errorf("tabstore: day %d file is %dx%d, manifest says %dx%d",
+			i, rows, cols, s.m.Rows, d.Cols)
+	}
+	for r := 0; r < rows; r++ {
+		cells, err := rr.Next()
+		if err != nil {
+			return fmt.Errorf("tabstore: day %d: %w", i, err)
+		}
+		copy(dst.Row(r)[colOff:colOff+cols], cells)
+	}
+	return nil
 }
