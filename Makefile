@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo all
+.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo all
 
 all: build test
 
@@ -39,10 +39,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' -cpu 1,4,8 .
 
 # Machine-readable before/after report: the frequency-domain engine
-# (pool construction, AllPositions, CrossCorrelate — old vs planned)
-# plus incremental pool maintenance (Pool.Append vs full rebuild).
+# (pool construction, AllPositions, CrossCorrelate — old vs planned),
+# incremental pool maintenance (Pool.Append vs full rebuild), and the
+# progressive nearest-tile scan (full vs exact-margin vs pruned).
 bench-json:
-	$(GO) run ./cmd/tabmine-bench -out BENCH_5.json
+	$(GO) run ./cmd/tabmine-bench -out BENCH_6.json
+
+# CI-friendly slice of bench-json: just the nearest suite at the
+# smallest grid, as a smoke test that the progressive scan keeps
+# perfect recall and produces a report at all (thresholds are not
+# asserted at this size — coordinate economy needs the big grids).
+bench-smoke:
+	$(GO) run ./cmd/tabmine-bench -suite nearest -tiles 64 -out /tmp/bench-smoke.json
+	grep -q '"recall": 1' /tmp/bench-smoke.json
 
 # Short fuzzing pass over every fuzz target (each target needs its own
 # invocation; the seed corpora also run under plain `make test`).
@@ -57,6 +66,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPlaneSet -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzOpen -fuzztime=$(FUZZTIME) ./internal/tabstore
 	$(GO) test -run='^$$' -fuzz=FuzzIngestRecord -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run='^$$' -fuzz=FuzzProgressiveNearest -fuzztime=$(FUZZTIME) ./internal/prune
 
 # The same fuzz pass at CI-friendly duration — a smoke test that the
 # corrupt-input hardening (snapshot loaders, store manifest, tabfile

@@ -2,10 +2,14 @@
 // with the testing package's programmatic harness and emits a
 // machine-readable JSON report: the raw cross-correlation primitive,
 // all-positions preprocessing, and pool construction (each old
-// vs planned), plus incremental pool maintenance (Pool.Append vs a full
-// rebuild at several append widths, with measured correlation counts).
+// vs planned), incremental pool maintenance (Pool.Append vs a full
+// rebuild at several append widths, with measured correlation counts),
+// and the progressive nearest-tile scan (full scan vs exact-margin vs
+// confidence-margin pruning at several grid sizes, with per-query
+// coordinate savings and measured recall).
 //
-//	tabmine-bench -out BENCH_5.json
+//	tabmine-bench -out BENCH_6.json
+//	tabmine-bench -suite nearest -tiles 64   # CI smoke slice
 //
 // The report is the artifact behind the numbers quoted in EXPERIMENTS.md;
 // `make bench-json` regenerates it.
@@ -19,10 +23,13 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/fft"
+	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/workload"
 )
@@ -31,6 +38,11 @@ import (
 // cross-correlations one op performs, so NsPerCorrelation and
 // AllocsPerCorrelation are comparable across rows that batch differently
 // (a packed pair does two per op; an AllPositions op does k).
+//
+// The nearest-scan rows carry the coordinate economy instead: how many
+// coordinates (sketch lanes + exact cells) one query consumed out of
+// the full scan's total, the pruned fraction, and — for the
+// confidence margin — the measured recall over the query set.
 type result struct {
 	Name                 string  `json:"name"`
 	Iterations           int     `json:"iterations"`
@@ -40,6 +52,11 @@ type result struct {
 	Correlations         int     `json:"correlations_per_op"`
 	NsPerCorrelation     float64 `json:"ns_per_correlation"`
 	AllocsPerCorrelation float64 `json:"allocs_per_correlation"`
+
+	CoordinatesEvaluated int64   `json:"coordinates_evaluated,omitempty"`
+	CoordinatesTotal     int64   `json:"coordinates_total,omitempty"`
+	PrunedFraction       float64 `json:"pruned_fraction,omitempty"`
+	Recall               float64 `json:"recall,omitempty"`
 }
 
 type report struct {
@@ -75,8 +92,19 @@ func run(name string, correlations int, fn func(b *testing.B)) result {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	suite := flag.String("suite", "all", "which sections to run: all, fft, nearest")
+	tilesFlag := flag.String("tiles", "64,256,1024", "grid sizes (tile counts) for the nearest suite")
 	flag.Parse()
+	if *suite != "all" && *suite != "fft" && *suite != "nearest" {
+		fatal(fmt.Errorf("bad -suite %q (want all, fft, or nearest)", *suite))
+	}
+	var tileCounts []int
+	for _, s := range strings.Split(*tilesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		fatal(err)
+		tileCounts = append(tileCounts, n)
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),
@@ -86,7 +114,24 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Speedups:   map[string]float64{},
 	}
+	if *suite == "all" || *suite == "nearest" {
+		benchNearest(&rep, tileCounts)
+	}
+	if *suite == "all" || *suite == "fft" {
+		benchFFT(&rep)
+	}
 
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	buf = append(buf, '\n')
+	fatal(os.WriteFile(*out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	for name, s := range rep.Speedups {
+		fmt.Printf("%-28s %.2fx\n", name, s)
+	}
+}
+
+func benchFFT(rep *report) {
 	// --- CrossCorrelate: the raw primitive, 128x128 table, 16x16 kernel.
 	rng := rand.New(rand.NewPCG(6, 6))
 	const n, m, ka, kb = 128, 128, 16, 16
@@ -215,14 +260,130 @@ func main() {
 		rep.Speedups[fmt.Sprintf("incremental_append/w%d", w)] =
 			float64(reb.NsPerOp) / float64(inc.NsPerOp)
 	}
+}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	fatal(err)
-	buf = append(buf, '\n')
-	fatal(os.WriteFile(*out, buf, 0o644))
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
-	for name, s := range rep.Speedups {
-		fmt.Printf("%-18s %.2fx per-correlation speedup\n", name, s)
+// pairedGrid builds a dim×dim table whose 8×8 grid tiles come in
+// pairs: tiles 2i and 2i+1 (row-major order) share a random per-pair
+// level, so every tile has exactly one near-duplicate twin while
+// distinct pairs sit far apart. This is the separated regime
+// progressive pruning exists for — pure noise concentrates pairwise
+// distances and no sound method can prune it.
+func pairedGrid(dim int, seed uint64) *table.Table {
+	rng := rand.New(rand.NewPCG(seed, 0x91a47ed))
+	tb := table.New(dim, dim)
+	g := dim / 8
+	level := 0.0
+	for ti := 0; ti < g*g; ti++ {
+		if ti%2 == 0 {
+			level = rng.Float64()*2000 - 1000
+		}
+		tr, tc := ti/g, ti%g
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				tb.Set(tr*8+r, tc*8+c, level+0.05*rng.NormFloat64())
+			}
+		}
+	}
+	return tb
+}
+
+// benchNearest times one nearest-tile query three ways — the full
+// exact scan, the exact-margin progressive scan (identical answers),
+// and the confidence-margin scan (mode=prune semantics, epsilon=0.1,
+// delta=0.05) — at several grid sizes, and measures the per-query
+// coordinate economy and recall over a 32-query seeded set.
+func benchNearest(rep *report, tileCounts []int) {
+	const epsilon, delta = 0.1, 0.05
+	ctx := context.Background()
+	for _, tiles := range tileCounts {
+		g := 1
+		for g*g < tiles {
+			g++
+		}
+		if g*g != tiles {
+			fatal(fmt.Errorf("-tiles %d is not a square grid", tiles))
+		}
+		dim := 8 * g
+		tb := pairedGrid(dim, uint64(tiles))
+		// One pooled dyadic size — the 8×8 tile itself — so tile sketches
+		// are exact, and p=2 so the screen pays the cheap incremental L2
+		// estimator rather than per-checkpoint median selection.
+		pool, err := core.NewPool(tb, 2, 64, 7, core.PoolOptions{
+			MinLogRows: 3, MaxLogRows: 3, MinLogCols: 3, MaxLogCols: 3,
+		})
+		fatal(err)
+		sn, err := server.BuildSnapshot(ctx, tb, pool, server.SnapshotConfig{
+			TileRows: 8, TileCols: 8,
+		})
+		fatal(err)
+		plan, err := sn.Plan(delta)
+		fatal(err)
+
+		// Coordinate economy + recall over a seeded query set of aligned
+		// tiles. Each query's true nearest is its twin; everything else
+		// is far, so a sound screen should abandon nearly the whole grid
+		// at an early checkpoint.
+		rng := rand.New(rand.NewPCG(uint64(tiles), 0xbe7c4)) // distinct from the plant seed
+		var evalExact, evalPrune, total int64
+		matches, queries := 0, 32
+		for i := 0; i < queries; i++ {
+			ti := rng.IntN(tiles)
+			q := table.Rect{R0: 8 * (ti / g), C0: 8 * (ti % g), Rows: 8, Cols: 8}
+			wantIdx, wantD, err := sn.ExactNearest(ctx, q, 1)
+			fatal(err)
+			idx, d, st, err := sn.ProgressiveNearest(ctx, q, 1, nil, 0)
+			fatal(err)
+			if idx != wantIdx || d != wantD {
+				fatal(fmt.Errorf("exact margin diverged from the full scan at t%d q=%v", tiles, q))
+			}
+			evalExact += st.CoordinatesEvaluated()
+			total += st.CoordinatesTotal
+			idx, _, st, err = sn.ProgressiveNearest(ctx, q, 1, plan, epsilon)
+			fatal(err)
+			evalPrune += st.CoordinatesEvaluated()
+			if idx == wantIdx {
+				matches++
+			}
+		}
+		recall := float64(matches) / float64(queries)
+
+		// Timed on one representative near-cluster query (workers=1: the
+		// comparison is single-thread coordinate economy, not fan-out).
+		q := table.Rect{R0: 0, C0: 0, Rows: 8, Cols: 8}
+		full := run(fmt.Sprintf("nearest/full_scan/t%d", tiles), 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sn.ExactNearest(ctx, q, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		exact := run(fmt.Sprintf("nearest/progressive_exact/t%d", tiles), 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := sn.ProgressiveNearest(ctx, q, 1, nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		prune := run(fmt.Sprintf("nearest/progressive_prune/t%d", tiles), 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := sn.ProgressiveNearest(ctx, q, 1, plan, epsilon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		full.CoordinatesEvaluated, full.CoordinatesTotal = total, total
+		exact.CoordinatesEvaluated, exact.CoordinatesTotal = evalExact, total
+		exact.PrunedFraction = 1 - float64(evalExact)/float64(total)
+		prune.CoordinatesEvaluated, prune.CoordinatesTotal = evalPrune, total
+		prune.PrunedFraction = 1 - float64(evalPrune)/float64(total)
+		prune.Recall = recall
+		rep.Results = append(rep.Results, full, exact, prune)
+		rep.Speedups[fmt.Sprintf("nearest_prune_time/t%d", tiles)] =
+			float64(full.NsPerOp) / float64(prune.NsPerOp)
+		rep.Speedups[fmt.Sprintf("nearest_coordinate_saving/t%d", tiles)] =
+			float64(total) / float64(evalPrune)
+		fmt.Fprintf(os.Stderr, "  t%d: recall %.3f, coordinate saving %.2fx (prune) / %.2fx (exact margin)\n",
+			tiles, recall, float64(total)/float64(evalPrune), float64(total)/float64(evalExact))
 	}
 }
 

@@ -6,10 +6,14 @@
 //
 //	tabmine-query -server http://127.0.0.1:8080 -op distance \
 //	    -a 0,0,16,16 -b 32,32,16,16 -mode auto
+//	tabmine-query -server http://127.0.0.1:8080 -op nearest \
+//	    -q 8,8,8,8 -mode prune -epsilon 0.1 -delta 0.05
 //
 // The answer is printed as JSON (including the tier tag, so callers
 // can see whether the answer was degraded and re-ask with -mode exact
-// later). Exit status: 0 on an answer, 1 on failure.
+// later). -mode prune (nearest, assign) runs the progressive
+// confidence-margin scan; -epsilon/-delta tune it, negative values
+// keep the server defaults. Exit status: 0 on an answer, 1 on failure.
 package main
 
 import (
@@ -31,7 +35,9 @@ func main() {
 		rectA    = flag.String("a", "", "first rectangle as row,col,height,width (distance)")
 		rectB    = flag.String("b", "", "second rectangle (distance)")
 		rectQ    = flag.String("q", "", "query rectangle (nearest, assign)")
-		mode     = flag.String("mode", server.ModeAuto, "accuracy mode: auto | exact | sketch")
+		mode     = flag.String("mode", server.ModeAuto, "accuracy mode: auto | exact | sketch | prune (nearest, assign)")
+		epsilon  = flag.Float64("epsilon", -1, "prune screen headroom (mode=prune; negative = server default)")
+		delta    = flag.Float64("delta", -1, "prune failure budget in (0,1) (mode=prune; negative = server default)")
 		attempts = flag.Int("attempts", 5, "max tries per query")
 		baseWait = flag.Duration("base-delay", 50*time.Millisecond, "backoff base delay")
 		budget   = flag.Duration("budget", 15*time.Second, "total retry-wait budget")
@@ -61,12 +67,20 @@ func main() {
 	case "nearest":
 		q, err := server.ParseRect(*rectQ)
 		fatal(err)
-		res, err = c.Nearest(ctx, q, *mode)
+		if *mode == server.ModePrune {
+			res, err = c.NearestPruned(ctx, q, *epsilon, *delta)
+		} else {
+			res, err = c.Nearest(ctx, q, *mode)
+		}
 		fatal(err)
 	case "assign":
 		q, err := server.ParseRect(*rectQ)
 		fatal(err)
-		res, err = c.Assign(ctx, q, *mode)
+		if *mode == server.ModePrune {
+			res, err = c.AssignPruned(ctx, q, *epsilon, *delta)
+		} else {
+			res, err = c.Assign(ctx, q, *mode)
+		}
 		fatal(err)
 	case "health":
 		var err error

@@ -136,6 +136,39 @@ func (c *Client) Nearest(ctx context.Context, q table.Rect, mode string) (*serve
 	return &res, nil
 }
 
+// NearestPruned queries /v1/nearest in mode=prune: the progressive
+// confidence-margin scan with the given epsilon/delta knobs. Pass a
+// negative value to keep the server's default for that knob.
+func (c *Client) NearestPruned(ctx context.Context, q table.Rect, epsilon, delta float64) (*server.NearestResult, error) {
+	vals := url.Values{"q": {server.FormatRect(q)}}
+	addPruneKnobs(vals, epsilon, delta)
+	var res server.NearestResult
+	if err := c.do(ctx, "/v1/nearest", vals, server.ModePrune, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// AssignPruned queries /v1/assign in mode=prune (see NearestPruned).
+func (c *Client) AssignPruned(ctx context.Context, q table.Rect, epsilon, delta float64) (*server.AssignResult, error) {
+	vals := url.Values{"q": {server.FormatRect(q)}}
+	addPruneKnobs(vals, epsilon, delta)
+	var res server.AssignResult
+	if err := c.do(ctx, "/v1/assign", vals, server.ModePrune, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func addPruneKnobs(vals url.Values, epsilon, delta float64) {
+	if epsilon >= 0 {
+		vals.Set("epsilon", strconv.FormatFloat(epsilon, 'g', -1, 64))
+	}
+	if delta >= 0 {
+		vals.Set("delta", strconv.FormatFloat(delta, 'g', -1, 64))
+	}
+}
+
 // Assign queries /v1/assign for q's cluster.
 func (c *Client) Assign(ctx context.Context, q table.Rect, mode string) (*server.AssignResult, error) {
 	vals := url.Values{"q": {server.FormatRect(q)}}

@@ -262,6 +262,16 @@ func (pl *Pool) refSketcher() *Sketcher {
 	return pl.entries[[2]int{pl.opts.MinLogRows, pl.opts.MinLogCols}][0].Sketcher()
 }
 
+// Estimator returns the resolved distance estimator the pool's sketchers
+// apply (EstimatorL2 for p = 2 under EstimatorAuto, EstimatorMedian
+// otherwise) — the progressive pruning layer needs it to pick the
+// matching confidence-margin family.
+func (pl *Pool) Estimator() Estimator { return pl.refSketcher().EstimatorKind() }
+
+// Scale returns B(p), the median-|stable| unbiasing constant of the
+// pool's estimator (see Sketcher.Scale).
+func (pl *Pool) Scale() float64 { return pl.refSketcher().Scale() }
+
 // SketchDist returns a distance function over pool sketches (as returned
 // by Sketch for equal-size rectangles): O(k) per call, safe for
 // concurrent use, allocation-free on the hot path. It is the DistFunc to

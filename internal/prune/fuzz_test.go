@@ -1,0 +1,169 @@
+package prune
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzProgressiveNearest drives the engine through degenerate problem
+// shapes — one candidate, tile == table (every index skipped), tiny k,
+// duplicated candidates (exact ties), all-zero lanes — and asserts the
+// load-bearing invariants: never panic, the exact margin is bit-equal
+// to the full scan, results are worker-count invariant, and with no
+// screen eliminations the confidence margin can never answer worse
+// than the screen admits (i.e. it matches the exact scan).
+func FuzzProgressiveNearest(f *testing.F) {
+	f.Add(uint64(1), 8, 9, 2, 3, 4, 0.1, 0.05)
+	f.Add(uint64(2), 1, 1, 1, 1, 1, 0.0, 0.5)      // single candidate, k=1
+	f.Add(uint64(3), 2, 3, 4, 4, 1, 2.0, 0.001)    // tiny chunk
+	f.Add(uint64(4), 33, 17, 3, 2, 16, 0.3, 0.01)  // chunked multi-round
+	f.Add(uint64(5), 5, 64, 1, 1, 8, 0.05, 0.9)    // 1x1 tiles, sketch >> table
+	f.Fuzz(func(t *testing.T, seed uint64, n, k, rows, cols, chunk int, epsilon, delta float64) {
+		n = clampInt(n, 1, 48)
+		k = clampInt(k, 1, 80)
+		rows = clampInt(rows, 1, 8)
+		cols = clampInt(cols, 1, 8)
+		chunk = clampInt(chunk, 1, 24)
+		if !(epsilon >= 0) || epsilon > 8 {
+			epsilon = 0.1
+		}
+		if !(delta > 0) || delta >= 1 {
+			delta = 0.05
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xF022))
+		p := []float64{0.5, 1, 2}[seed%3]
+		dim := rows * cols
+
+		q := fuzzVec(rng, dim, false)
+		cands := make([][]float64, n)
+		for i := range cands {
+			switch {
+			case i > 0 && rng.IntN(4) == 0:
+				cands[i] = cands[rng.IntN(i)] // exact tie
+			case rng.IntN(6) == 0:
+				cands[i] = make([]float64, dim) // all-zero candidate
+			case rng.IntN(6) == 0:
+				cands[i] = append([]float64(nil), q...) // distance zero
+			default:
+				cands[i] = fuzzVec(rng, dim, rng.IntN(8) == 0)
+			}
+		}
+		skip := -1
+		if rng.IntN(3) == 0 {
+			skip = rng.IntN(n) // sometimes the query IS a candidate tile
+		}
+		src := vecSource(t, p, k, rows, cols, seed^0xA5A5, q, cands, skip)
+		wantIdx, wantSum := fullScan(src)
+
+		// Exact margin at two worker counts: bit-equal to the full scan
+		// (or the same no-candidate failure), equal to each other.
+		cfg := Config{Chunk: chunk, Workers: 1, ScreenLanes: 1 + int(seed%5)}
+		idx1, sum1, st1, err1 := Nearest(context.Background(), src, cfg)
+		cfg.Workers = 2 + int(seed%3)
+		idx2, sum2, st2, err2 := Nearest(context.Background(), src, cfg)
+		if wantIdx < 0 {
+			if err1 != ErrNoCandidates || err2 != ErrNoCandidates {
+				t.Fatalf("degenerate problem: want ErrNoCandidates, got %v / %v", err1, err2)
+			}
+			return
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatalf("exact margin errored: %v / %v", err1, err2)
+		}
+		if idx1 != wantIdx || math.Float64bits(sum1) != math.Float64bits(wantSum) {
+			t.Fatalf("exact margin (%d, %x) != full scan (%d, %x)",
+				idx1, math.Float64bits(sum1), wantIdx, math.Float64bits(wantSum))
+		}
+		if idx2 != idx1 || math.Float64bits(sum2) != math.Float64bits(sum1) || st1 != st2 {
+			t.Fatalf("workers changed the answer: (%d, %v, %+v) vs (%d, %v, %+v)",
+				idx1, sum1, st1, idx2, sum2, st2)
+		}
+		checkStats(t, st1, src, k)
+
+		// Confidence margin: never panic, answer self-consistent, and
+		// when the screen pruned nothing the answer must equal the exact
+		// scan (the refinement is lossless on whatever the screen admits).
+		plan, err := NewPlan(p, k, core.EstimatorAuto, 1+int(seed%7), delta)
+		if err != nil {
+			t.Fatalf("NewPlan: %v", err)
+		}
+		cfg = Config{Plan: plan, Epsilon: epsilon, Chunk: chunk, Workers: 1}
+		idx, sum, st, err := Nearest(context.Background(), src, cfg)
+		if err != nil {
+			// The minimum-estimate candidate always survives its own
+			// reference band, so the screen can never empty the field.
+			t.Fatalf("confidence margin errored: %v", err)
+		}
+		if idx < 0 || idx >= n || idx == skip {
+			t.Fatalf("confidence margin returned invalid index %d (n=%d skip=%d)", idx, n, skip)
+		}
+		var exact float64
+		for r := 0; r < rows; r++ {
+			exact += src.RowPowSum(idx, r)
+		}
+		if math.Float64bits(sum) != math.Float64bits(exact) {
+			t.Fatalf("returned sum %x is not candidate %d's exact sum %x",
+				math.Float64bits(sum), idx, math.Float64bits(exact))
+		}
+		if st.PrunedCandidates == 0 && (idx != wantIdx || math.Float64bits(sum) != math.Float64bits(wantSum)) {
+			t.Fatalf("no candidate pruned, yet (%d, %x) != exact (%d, %x)",
+				idx, math.Float64bits(sum), wantIdx, math.Float64bits(wantSum))
+		}
+		checkStats(t, st, src, k)
+	})
+}
+
+func checkStats(t *testing.T, st Stats, src Source, k int) {
+	t.Helper()
+	wantCands := src.N
+	if src.Skip >= 0 && src.Skip < src.N {
+		wantCands--
+	}
+	if st.Candidates != wantCands {
+		t.Fatalf("Candidates = %d, want %d", st.Candidates, wantCands)
+	}
+	if st.ScreenSurvivors+st.PrunedCandidates != st.Candidates {
+		t.Fatalf("survivors %d + pruned %d != candidates %d",
+			st.ScreenSurvivors, st.PrunedCandidates, st.Candidates)
+	}
+	if st.LanesEvaluated < 0 || st.LanesEvaluated > int64(st.Candidates)*int64(k) {
+		t.Fatalf("LanesEvaluated %d outside [0, %d]", st.LanesEvaluated, int64(st.Candidates)*int64(k))
+	}
+	cells := int64(st.Candidates) * int64(src.Rows) * int64(src.Cols)
+	if st.CellsEvaluated < 0 || st.CellsEvaluated > cells {
+		t.Fatalf("CellsEvaluated %d outside [0, %d]", st.CellsEvaluated, cells)
+	}
+	if st.CoordinatesTotal != cells {
+		t.Fatalf("CoordinatesTotal %d != %d", st.CoordinatesTotal, cells)
+	}
+	if st.PrunedCoordinates() < 0 || st.CoordinatesEvaluated() != st.LanesEvaluated+st.CellsEvaluated {
+		t.Fatalf("inconsistent derived stats: %+v", st)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// fuzzVec draws a candidate vector, optionally with huge-magnitude
+// entries to stress the estimator's dynamic range.
+func fuzzVec(rng *rand.Rand, dim int, huge bool) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.Float64()*4 - 2
+		if huge {
+			v[i] *= 1e12
+		}
+	}
+	return v
+}

@@ -22,6 +22,10 @@ const (
 	// deadline budget is too tight for the exact path, or when the
 	// server is saturated.
 	TierSketch = "sketch"
+	// TierPruned answers from the progressive confidence-margin scan:
+	// exact Lp distances on the candidates surviving the sketch screen,
+	// with the true nearest surviving with probability ≥ 1 − delta.
+	TierPruned = "pruned"
 )
 
 // Degradation reasons reported alongside a sketch-tier answer to an
@@ -49,6 +53,21 @@ const (
 	ModeExact = "exact"
 	// ModeSketch asks for the O(k) sketch tier outright.
 	ModeSketch = "sketch"
+	// ModePrune (nearest/assign only) asks for the progressive
+	// confidence-margin scan tuned by the epsilon and delta query
+	// parameters; /v1/distance rejects it with 400.
+	ModePrune = "prune"
+)
+
+// Margins name the two progressive-scan guarantees in PruneStats.
+const (
+	// MarginExact: the sketch screen only ordered candidates; the answer
+	// is byte-identical to the full exact scan.
+	MarginExact = "exact"
+	// MarginConfidence: the screen eliminated candidates it certified
+	// farther than (1+epsilon)× the best's distance band; the true
+	// nearest survives with probability ≥ 1 − delta.
+	MarginConfidence = "confidence"
 )
 
 // DistanceResult answers /v1/distance.
@@ -59,26 +78,47 @@ type DistanceResult struct {
 	Reason   string  `json:"reason,omitempty"`
 }
 
+// PruneStats reports what the progressive scan behind a nearest/assign
+// answer evaluated and avoided. Like every response field it is a
+// deterministic function of (snapshot, query) — worker count and load
+// never change it.
+type PruneStats struct {
+	Margin  string  `json:"margin"`            // MarginExact or MarginConfidence
+	Epsilon float64 `json:"epsilon,omitempty"` // confidence margin only
+	Delta   float64 `json:"delta,omitempty"`   // confidence margin only
+
+	Candidates        int   `json:"candidates"`         // entered the sketch screen
+	ScreenSurvivors   int   `json:"screen_survivors"`   // reached exact refinement
+	PrunedCandidates  int   `json:"pruned_candidates"`  // eliminated by the screen
+	RefineAbandoned   int   `json:"refine_abandoned"`   // cut off mid-refinement
+	LanesEvaluated    int64 `json:"lanes_evaluated"`    // sketch coordinates consumed
+	CellsEvaluated    int64 `json:"cells_evaluated"`    // exact table cells consumed
+	CoordinatesTotal  int64 `json:"coordinates_total"`  // full-scan cost of the query
+	PrunedCoordinates int64 `json:"pruned_coordinates"` // total − (lanes + cells), ≥ 0
+}
+
 // NearestResult answers /v1/nearest: the grid tile nearest to the query
 // rectangle (excluding the query's own position).
 type NearestResult struct {
-	Tile     int     `json:"tile"` // grid tile index
-	Rect     string  `json:"rect"` // the tile as "row,col,height,width"
-	Distance float64 `json:"distance"`
-	Tier     string  `json:"tier"`
-	Degraded bool    `json:"degraded"`
-	Reason   string  `json:"reason,omitempty"`
+	Tile     int         `json:"tile"` // grid tile index
+	Rect     string      `json:"rect"` // the tile as "row,col,height,width"
+	Distance float64     `json:"distance"`
+	Tier     string      `json:"tier"`
+	Degraded bool        `json:"degraded"`
+	Reason   string      `json:"reason,omitempty"`
+	Prune    *PruneStats `json:"prune,omitempty"`
 }
 
 // AssignResult answers /v1/assign: the cluster whose medoid tile is
 // nearest to the query rectangle.
 type AssignResult struct {
-	Cluster  int     `json:"cluster"`
-	Medoid   int     `json:"medoid"` // grid tile index of the cluster medoid
-	Distance float64 `json:"distance"`
-	Tier     string  `json:"tier"`
-	Degraded bool    `json:"degraded"`
-	Reason   string  `json:"reason,omitempty"`
+	Cluster  int         `json:"cluster"`
+	Medoid   int         `json:"medoid"` // grid tile index of the cluster medoid
+	Distance float64     `json:"distance"`
+	Tier     string      `json:"tier"`
+	Degraded bool        `json:"degraded"`
+	Reason   string      `json:"reason,omitempty"`
+	Prune    *PruneStats `json:"prune,omitempty"`
 }
 
 // Health answers /healthz.

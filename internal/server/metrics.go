@@ -17,6 +17,10 @@ var (
 	mIngestAccepted = expvar.NewInt("tabmine_ingest_accepted")
 	mIngestShed     = expvar.NewInt("tabmine_ingest_shed")
 	mIngestErrors   = expvar.NewInt("tabmine_ingest_errors")
+
+	mPrunedCandidates  = expvar.NewInt("tabmine_pruned_candidates")
+	mPrunedCoordinates = expvar.NewInt("tabmine_pruned_coordinates")
+	mScreenSurvivors   = expvar.NewInt("tabmine_screen_survivors")
 )
 
 // Stats is a point-in-time read of the serving counters.
@@ -32,6 +36,10 @@ type Stats struct {
 	IngestAccepted int64 // records durably appended
 	IngestShed     int64 // 503s from a full ingest backlog
 	IngestErrors   int64 // malformed records / ingest failures
+
+	PrunedCandidates  int64 // candidates the confidence screen eliminated
+	PrunedCoordinates int64 // full-scan coordinates the progressive scans avoided
+	ScreenSurvivors   int64 // candidates that reached exact refinement
 }
 
 // ReadStats samples the process-global counters.
@@ -48,5 +56,9 @@ func ReadStats() Stats {
 		IngestAccepted: mIngestAccepted.Value(),
 		IngestShed:     mIngestShed.Value(),
 		IngestErrors:   mIngestErrors.Value(),
+
+		PrunedCandidates:  mPrunedCandidates.Value(),
+		PrunedCoordinates: mPrunedCoordinates.Value(),
+		ScreenSurvivors:   mScreenSurvivors.Value(),
 	}
 }

@@ -36,6 +36,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/prune"
 )
 
 // Config tunes the serving policy. The zero value gets sensible
@@ -264,7 +266,7 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 		if mode == "" {
 			mode = ModeAuto
 		}
-		if mode != ModeAuto && mode != ModeExact && mode != ModeSketch {
+		if mode != ModeAuto && mode != ModeExact && mode != ModeSketch && mode != ModePrune {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad mode %q", mode))
 			return
 		}
@@ -317,7 +319,62 @@ func sketchFallback(ctx context.Context, err error, reason string) (context.Cont
 	return nil, false
 }
 
+// Default knobs of the confidence-margin prune mode, used when the
+// client sends no epsilon / delta parameter.
+const (
+	DefaultPruneEpsilon = 0.1
+	DefaultPruneDelta   = 0.05
+)
+
+// pruneParams parses the epsilon/delta knobs of a mode=prune query and
+// resolves the snapshot's memoized plan for that delta.
+func pruneParams(sn *Snapshot, vals url.Values) (*prune.Plan, float64, error) {
+	epsilon := DefaultPruneEpsilon
+	if v := vals.Get("epsilon"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(f >= 0) {
+			return nil, 0, fmt.Errorf("bad epsilon %q (want a number ≥ 0)", v)
+		}
+		epsilon = f
+	}
+	delta := DefaultPruneDelta
+	if v := vals.Get("delta"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(f > 0) || f >= 1 {
+			return nil, 0, fmt.Errorf("bad delta %q (want a number in (0, 1))", v)
+		}
+		delta = f
+	}
+	plan, err := sn.planFor(delta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan, epsilon, nil
+}
+
+// pruneBody converts engine statistics into the wire shape and bumps
+// the process-global prune counters.
+func pruneBody(st prune.Stats, margin string, epsilon, delta float64) *PruneStats {
+	mPrunedCandidates.Add(int64(st.PrunedCandidates))
+	mPrunedCoordinates.Add(st.PrunedCoordinates())
+	mScreenSurvivors.Add(int64(st.ScreenSurvivors))
+	return &PruneStats{
+		Margin: margin, Epsilon: epsilon, Delta: delta,
+		Candidates:        st.Candidates,
+		ScreenSurvivors:   st.ScreenSurvivors,
+		PrunedCandidates:  st.PrunedCandidates,
+		RefineAbandoned:   st.RefineAbandoned,
+		LanesEvaluated:    st.LanesEvaluated,
+		CellsEvaluated:    st.CellsEvaluated,
+		CoordinatesTotal:  st.CoordinatesTotal,
+		PrunedCoordinates: st.PrunedCoordinates(),
+	}
+}
+
 func (s *Server) opDistance(ctx context.Context, sn *Snapshot, vals url.Values, mode, reason string) (any, error) {
+	if mode == ModePrune {
+		return nil, fmt.Errorf("mode %q is not supported for distance queries (nearest and assign only)", ModePrune)
+	}
 	a, err := ParseRect(vals.Get("a"))
 	if err != nil {
 		return nil, err
@@ -358,10 +415,42 @@ func (s *Server) opNearest(ctx context.Context, sn *Snapshot, vals url.Values, m
 	if err != nil {
 		return nil, err
 	}
+	if mode == ModePrune {
+		plan, epsilon, err := pruneParams(sn, vals)
+		if err != nil {
+			return nil, err
+		}
+		idx, d, st, err := sn.ProgressiveNearest(ctx, q, s.cfg.Workers, plan, epsilon)
+		if err != nil {
+			return nil, err
+		}
+		return &NearestResult{
+			Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierPruned,
+			Prune: pruneBody(st, MarginConfidence, epsilon, plan.Delta()),
+		}, nil
+	}
 	if mode == ModeExact || (mode == ModeAuto && reason == "") {
-		idx, d, err := sn.ExactNearest(ctx, q, s.cfg.Workers)
+		// The exact tier: mode=exact keeps the plain full scan (the
+		// reference the tests compare against); the auto tier runs the
+		// exact-MARGIN progressive scan, whose answer is provably
+		// identical but cheaper, and reports what it avoided.
+		var res *NearestResult
+		if mode == ModeAuto {
+			idx, d, st, perr := sn.ProgressiveNearest(ctx, q, s.cfg.Workers, nil, 0)
+			if err = perr; err == nil {
+				res = &NearestResult{
+					Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierExact,
+					Prune: pruneBody(st, MarginExact, 0, 0),
+				}
+			}
+		} else {
+			idx, d, eerr := sn.ExactNearest(ctx, q, s.cfg.Workers)
+			if err = eerr; err == nil {
+				res = &NearestResult{Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierExact}
+			}
+		}
 		if err == nil {
-			return &NearestResult{Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Tier: TierExact}, nil
+			return res, nil
 		}
 		fctx, ok := sketchFallback(ctx, err, reason)
 		if mode == ModeExact || !ok {
@@ -385,10 +474,38 @@ func (s *Server) opAssign(ctx context.Context, sn *Snapshot, vals url.Values, mo
 	if err != nil {
 		return nil, err
 	}
+	if mode == ModePrune {
+		plan, epsilon, err := pruneParams(sn, vals)
+		if err != nil {
+			return nil, err
+		}
+		c, m, d, st, err := sn.ProgressiveAssign(ctx, q, s.cfg.Workers, plan, epsilon)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignResult{
+			Cluster: c, Medoid: m, Distance: d, Tier: TierPruned,
+			Prune: pruneBody(st, MarginConfidence, epsilon, plan.Delta()),
+		}, nil
+	}
 	if mode == ModeExact || (mode == ModeAuto && reason == "") {
-		c, m, d, err := sn.ExactAssign(ctx, q)
+		var res *AssignResult
+		if mode == ModeAuto {
+			c, m, d, st, perr := sn.ProgressiveAssign(ctx, q, s.cfg.Workers, nil, 0)
+			if err = perr; err == nil {
+				res = &AssignResult{
+					Cluster: c, Medoid: m, Distance: d, Tier: TierExact,
+					Prune: pruneBody(st, MarginExact, 0, 0),
+				}
+			}
+		} else {
+			c, m, d, eerr := sn.ExactAssign(ctx, q)
+			if err = eerr; err == nil {
+				res = &AssignResult{Cluster: c, Medoid: m, Distance: d, Tier: TierExact}
+			}
+		}
 		if err == nil {
-			return &AssignResult{Cluster: c, Medoid: m, Distance: d, Tier: TierExact}, nil
+			return res, nil
 		}
 		fctx, ok := sketchFallback(ctx, err, reason)
 		if mode == ModeExact || !ok {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lpnorm"
 	"repro/internal/parallel"
+	"repro/internal/prune"
 	"repro/internal/table"
 )
 
@@ -46,6 +48,16 @@ type Snapshot struct {
 	assign      []int        // tile -> cluster
 	medoids     []int        // cluster -> tile index of its medoid
 	medoidRects []table.Rect // cluster -> medoid tile rectangle
+
+	// Progressive-pruning state: the worst-case overcount of a tile's
+	// pool sketch (1 when tiles are exactly dyadic, Theorem 5's compound
+	// slack otherwise) and a memoized prune.Plan per delta. The cache is
+	// the one mutable corner of a Snapshot; planFor guards it — plans
+	// themselves are immutable and deterministic, so memoization never
+	// changes an answer.
+	compoundSlack float64
+	planMu        sync.Mutex
+	plans         map[float64]*prune.Plan
 }
 
 // BuildSnapshot derives the serving state from a table and its sketch
@@ -83,6 +95,15 @@ func BuildSnapshot(ctx context.Context, tb *table.Table, pool *core.Pool, cfg Sn
 	}
 	if err := pool.CanSketch(sn.tiles[0]); err != nil {
 		return nil, fmt.Errorf("server: tile size not pool-sketchable: %w", err)
+	}
+	sn.compoundSlack = 1
+	if !pool.IsExact(sn.tiles[0]) {
+		// Compound sketches overcount the true distance by at most 4×
+		// for any p (Theorem 5: each cell difference appears with
+		// multiplicity m ≤ 4, and (Σ mᵢ^p|dᵢ|^p)^(1/p) ≤ 4·(Σ|dᵢ|^p)^(1/p)),
+		// and never undercount — the slack the confidence screen must
+		// grant before eliminating a candidate.
+		sn.compoundSlack = 4
 	}
 
 	// Pool sketches per tile: disjoint slots, deterministic at any

@@ -83,6 +83,23 @@ func Open(dir string) (*Store, error) {
 	if s.m.Version != 1 {
 		return nil, fmt.Errorf("tabstore: unsupported manifest version %d", s.m.Version)
 	}
+	if s.m.Rows < 0 {
+		return nil, fmt.Errorf("tabstore: manifest claims %d rows", s.m.Rows)
+	}
+	if len(s.m.Days) > 0 && s.m.Rows == 0 {
+		return nil, fmt.Errorf("tabstore: manifest has %d days but no row count", len(s.m.Days))
+	}
+	for i, d := range s.m.Days {
+		if d.Cols <= 0 {
+			return nil, fmt.Errorf("tabstore: manifest day %d claims %d cols", i, d.Cols)
+		}
+		// Day files live directly in the store directory; a manifest
+		// naming anything else (subdirs, "..", absolute paths) would let
+		// fsck quarantine-rename files outside the store.
+		if d.File == "" || d.File != filepath.Base(d.File) || d.File == "." || d.File == ".." {
+			return nil, fmt.Errorf("tabstore: manifest day %d has invalid file name %q", i, d.File)
+		}
+	}
 	return s, nil
 }
 
