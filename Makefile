@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo all
+.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke all
 
 all: build test
 
@@ -40,10 +40,12 @@ bench:
 
 # Machine-readable before/after report: the frequency-domain engine
 # (pool construction, AllPositions, CrossCorrelate — old vs planned),
-# incremental pool maintenance (Pool.Append vs full rebuild), and the
-# progressive nearest-tile scan (full vs exact-margin vs pruned).
+# incremental pool maintenance (Pool.Append vs full rebuild), the
+# progressive nearest-tile scan (full vs exact-margin vs pruned), the
+# batched query path (one POST vs 64 GETs + kernel allocs/item), and an
+# embedded open-loop replay run.
 bench-json:
-	$(GO) run ./cmd/tabmine-bench -out BENCH_6.json
+	$(GO) run ./cmd/tabmine-bench -out BENCH_7.json
 
 # CI-friendly slice of bench-json: just the nearest suite at the
 # smallest grid, as a smoke test that the progressive scan keeps
@@ -67,12 +69,36 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzOpen -fuzztime=$(FUZZTIME) ./internal/tabstore
 	$(GO) test -run='^$$' -fuzz=FuzzIngestRecord -fuzztime=$(FUZZTIME) ./internal/ingest
 	$(GO) test -run='^$$' -fuzz=FuzzProgressiveNearest -fuzztime=$(FUZZTIME) ./internal/prune
+	$(GO) test -run='^$$' -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/server
 
 # The same fuzz pass at CI-friendly duration — a smoke test that the
 # corrupt-input hardening (snapshot loaders, store manifest, tabfile
 # readers) holds against fresh inputs, not just the checked-in corpora.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
+
+# End-to-end smoke of the replay harness: serve a small snapshot, drive
+# 2000 zipf-skewed queries through the batch path open-loop, and
+# require a nonzero served count plus a populated latency histogram in
+# the report (the exact shed/degraded split is timing-dependent and
+# deliberately not asserted).
+replay-smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/replay" ./cmd/tabmine-replay; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 64 -seed 7 -o "$$d/t.tabf"; \
+	"$$d/serve" -table "$$d/t.tabf" -addr 127.0.0.1:0 -addr-file "$$d/addr" \
+		-k 64 -max-log 3 -tile-rows 8 -tile-cols 8 -clusters 4 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo 'ERROR: server never published its address'; kill $$pid; exit 1; }; \
+	"$$d/replay" -server "http://$$(cat "$$d/addr")" -n 2000 -rate 4000 -batch 16 \
+		-op nearest -mode auto -seed 7 -out "$$d/replay.json"; \
+	if grep -q '"served": 0,' "$$d/replay.json"; then \
+		echo 'ERROR: replay served nothing'; kill $$pid; exit 1; fi; \
+	grep -q '"up_to_ms"' "$$d/replay.json"; \
+	grep -q '"p99_ms"' "$$d/replay.json"; \
+	kill -TERM $$pid; wait $$pid; \
+	echo 'replay-smoke OK'
 
 # Demonstrates the store's corruption handling end to end: build a
 # two-day store, flip bytes in one day file, watch fsck quarantine it

@@ -4,11 +4,14 @@
 // all-positions preprocessing, and pool construction (each old
 // vs planned), incremental pool maintenance (Pool.Append vs a full
 // rebuild at several append widths, with measured correlation counts),
-// and the progressive nearest-tile scan (full scan vs exact-margin vs
+// the progressive nearest-tile scan (full scan vs exact-margin vs
 // confidence-margin pruning at several grid sizes, with per-query
-// coordinate savings and measured recall).
+// coordinate savings and measured recall), the batched query path
+// (one POST /v1/batch/distance vs N sequential GETs over live HTTP,
+// plus the lane-major kernel's steady-state allocs per item), and an
+// in-process replay run whose report is embedded verbatim.
 //
-//	tabmine-bench -out BENCH_6.json
+//	tabmine-bench -out BENCH_7.json
 //	tabmine-bench -suite nearest -tiles 64   # CI smoke slice
 //
 // The report is the artifact behind the numbers quoted in EXPERIMENTS.md;
@@ -16,11 +19,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fft"
+	"repro/internal/replay"
 	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/workload"
@@ -67,6 +75,7 @@ type report struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Results    []result           `json:"results"`
 	Speedups   map[string]float64 `json:"speedups"`
+	Replay     *replay.Report     `json:"replay,omitempty"`
 }
 
 func run(name string, correlations int, fn func(b *testing.B)) result {
@@ -92,12 +101,14 @@ func run(name string, correlations int, fn func(b *testing.B)) result {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
-	suite := flag.String("suite", "all", "which sections to run: all, fft, nearest")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	suite := flag.String("suite", "all", "which sections to run: all, fft, nearest, batch")
 	tilesFlag := flag.String("tiles", "64,256,1024", "grid sizes (tile counts) for the nearest suite")
 	flag.Parse()
-	if *suite != "all" && *suite != "fft" && *suite != "nearest" {
-		fatal(fmt.Errorf("bad -suite %q (want all, fft, or nearest)", *suite))
+	switch *suite {
+	case "all", "fft", "nearest", "batch":
+	default:
+		fatal(fmt.Errorf("bad -suite %q (want all, fft, nearest, or batch)", *suite))
 	}
 	var tileCounts []int
 	for _, s := range strings.Split(*tilesFlag, ",") {
@@ -119,6 +130,9 @@ func main() {
 	}
 	if *suite == "all" || *suite == "fft" {
 		benchFFT(&rep)
+	}
+	if *suite == "all" || *suite == "batch" {
+		benchBatch(&rep)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -385,6 +399,109 @@ func benchNearest(rep *report, tileCounts []int) {
 		fmt.Fprintf(os.Stderr, "  t%d: recall %.3f, coordinate saving %.2fx (prune) / %.2fx (exact margin)\n",
 			tiles, recall, float64(total)/float64(evalPrune), float64(total)/float64(evalExact))
 	}
+}
+
+// benchBatch measures the batched query path over live HTTP: one
+// POST /v1/batch/distance carrying 64 items vs 64 sequential GETs
+// answering the identical queries (mode=sketch on both sides, so the
+// comparison isolates transport + dispatch amortization from tier
+// choice), and the lane-major kernel's steady-state allocations per
+// item. It then runs an in-process replay — zipf-skewed open-loop
+// load against the same server — and embeds the resulting report.
+func benchBatch(rep *report) {
+	ctx := context.Background()
+	const batchN = 64
+	g := 8 // 8×8 grid of 8×8 tiles
+	tb := pairedGrid(8*g, 77)
+	pool, err := core.NewPool(tb, 1, 64, 42, core.PoolOptions{
+		MinLogRows: 3, MaxLogRows: 3, MinLogCols: 3, MaxLogCols: 3,
+	})
+	fatal(err)
+	sn, err := server.BuildSnapshot(ctx, tb, pool, server.SnapshotConfig{
+		TileRows: 8, TileCols: 8, Clusters: 4, Seed: 42,
+	})
+	fatal(err)
+	// Capacity sized so a weight-64 batch does not saturate admission:
+	// the throughput comparison measures dispatch cost, not shedding.
+	s, err := server.New(sn, server.Config{MaxInflight: 64, MaxQueue: 256})
+	fatal(err)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewPCG(13, 0xba7c4))
+	as := make([]table.Rect, batchN)
+	bs := make([]table.Rect, batchN)
+	items := make([]server.BatchItem, batchN)
+	targets := make([]string, batchN)
+	for i := range as {
+		ta, tbi := rng.IntN(g*g), rng.IntN(g*g)
+		as[i] = table.Rect{R0: 8 * (ta / g), C0: 8 * (ta % g), Rows: 8, Cols: 8}
+		bs[i] = table.Rect{R0: 8 * (tbi / g), C0: 8 * (tbi % g), Rows: 8, Cols: 8}
+		items[i] = server.BatchItem{A: server.FormatRect(as[i]), B: server.FormatRect(bs[i])}
+		targets[i] = ts.URL + "/v1/distance?a=" + items[i].A + "&b=" + items[i].B +
+			"&mode=" + server.ModeSketch
+	}
+	body, err := json.Marshal(&server.BatchRequest{Mode: server.ModeSketch, Items: items})
+	fatal(err)
+	httpc := &http.Client{}
+	drain := func(resp *http.Response, werr error) {
+		fatal(werr)
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("bench batch: status %d", resp.StatusCode))
+		}
+	}
+
+	seq := run(fmt.Sprintf("batch/sequential_gets/%d", batchN), batchN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, u := range targets {
+				drain(httpc.Get(u))
+			}
+		}
+	})
+	bat := run(fmt.Sprintf("batch/batch_post/%d", batchN), batchN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drain(httpc.Post(ts.URL+"/v1/batch/distance", "application/json", bytes.NewReader(body)))
+		}
+	})
+	rep.Results = append(rep.Results, seq, bat)
+	rep.Speedups[fmt.Sprintf("batch_distance_throughput/%d", batchN)] =
+		float64(seq.NsPerOp) / float64(bat.NsPerOp)
+
+	// Steady-state kernel cost: one lane-major sweep answering all 64
+	// estimates. AllocsPerCorrelation is the allocs-per-item headline
+	// (acceptance: ≤ 2 with a caller-provided dst).
+	dst := make([]float64, batchN)
+	kern := run(fmt.Sprintf("batch/kernel_sketch/%d", batchN), batchN, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sn.SketchDistanceBatch(as, bs, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, kern)
+
+	// Replay: 2000 zipf-skewed nearest queries in batches of 16, open
+	// loop against a deliberately capacity-constrained instance (one
+	// 16-item batch alone is 16/20 of capacity), so the report exercises
+	// the shed and degraded-tier measurements rather than recording an
+	// idle server.
+	loaded, err := server.New(sn, server.Config{MaxInflight: 4, MaxQueue: 16})
+	fatal(err)
+	lts := httptest.NewServer(loaded.Handler())
+	defer lts.Close()
+	fmt.Fprintf(os.Stderr, "running replay (2000 queries)...\n")
+	rr, err := replay.Run(ctx, replay.Config{
+		BaseURL: lts.URL, Queries: 2000, Rate: 4000, Batch: 16,
+		Op: "nearest", Mode: server.ModeAuto, Seed: 7, MaxOutstanding: 64,
+	})
+	fatal(err)
+	rep.Replay = rr
+	fmt.Fprintf(os.Stderr, "  replay: served %d shed %d degraded %d p50 %.2fms p99 %.2fms\n",
+		rr.Served, rr.Shed, rr.Degraded, rr.RequestLatency.P50, rr.RequestLatency.P99)
 }
 
 func fatal(err error) {

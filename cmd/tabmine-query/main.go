@@ -14,18 +14,30 @@
 // later). -mode prune (nearest, assign) runs the progressive
 // confidence-margin scan; -epsilon/-delta tune it, negative values
 // keep the server defaults. Exit status: 0 on an answer, 1 on failure.
+//
+// -batch file reads queries as JSON lines ("-" for stdin) and issues
+// them as one POST /v1/batch/* request — one line per query, the
+// fields of a batch item: {"a":...,"b":...} for distance,
+// {"q":...} for nearest and assign. One JSON line is printed per
+// query, in input order; per-item failures print {"error": ...} and do
+// not abort the rest of the batch. Exit status 0 if every item
+// answered, 1 otherwise.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/runctx"
 	"repro/internal/server"
+	"repro/internal/table"
 )
 
 func main() {
@@ -43,6 +55,7 @@ func main() {
 		budget   = flag.Duration("budget", 15*time.Second, "total retry-wait budget")
 		seed     = flag.Uint64("seed", 0, "jitter seed (0 = default)")
 		timeout  = flag.Duration("timeout", time.Minute, "overall deadline for the query including retries")
+		batch    = flag.String("batch", "", "JSON-lines file of batch items (\"-\" = stdin); issues one POST /v1/batch/<op>")
 	)
 	flag.Parse()
 
@@ -54,6 +67,10 @@ func main() {
 		Budget: *budget, Seed: *seed,
 	})
 	fatal(err)
+
+	if *batch != "" {
+		os.Exit(runBatch(ctx, c, *op, *mode, *batch))
+	}
 
 	var res any
 	switch *op {
@@ -92,6 +109,94 @@ func main() {
 	out, err := json.Marshal(res)
 	fatal(err)
 	fmt.Println(string(out))
+}
+
+// runBatch reads JSON-lines batch items from path, issues them as one
+// batched request, and prints one JSON line per item in input order.
+// Returns the process exit code: 0 only if every item answered.
+func runBatch(ctx context.Context, c *client.Client, op, mode, path string) int {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+	type line struct {
+		A string `json:"a"`
+		B string `json:"b"`
+		Q string `json:"q"`
+	}
+	var as, bs, qs []table.Rect
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			fatal(fmt.Errorf("batch line %d: %v", lineNo, err))
+		}
+		if op == "distance" {
+			a, err := server.ParseRect(l.A)
+			fatal(err)
+			b, err := server.ParseRect(l.B)
+			fatal(err)
+			as, bs = append(as, a), append(bs, b)
+		} else {
+			q, err := server.ParseRect(l.Q)
+			fatal(err)
+			qs = append(qs, q)
+		}
+	}
+	fatal(sc.Err())
+
+	// One answer per query, in order. Per-item errors print as
+	// {"error": ...} lines and flip the exit code without hiding the
+	// items that did answer.
+	emit := func(res any, err error) bool {
+		if err != nil {
+			out, merr := json.Marshal(map[string]string{"error": err.Error()})
+			fatal(merr)
+			fmt.Println(string(out))
+			return false
+		}
+		out, merr := json.Marshal(res)
+		fatal(merr)
+		fmt.Println(string(out))
+		return true
+	}
+	ok := true
+	switch op {
+	case "distance":
+		items, err := c.DistanceBatch(ctx, as, bs, mode)
+		fatal(err)
+		for _, it := range items {
+			ok = emit(it.Result, it.Err) && ok
+		}
+	case "nearest":
+		items, err := c.NearestBatch(ctx, qs, mode)
+		fatal(err)
+		for _, it := range items {
+			ok = emit(it.Result, it.Err) && ok
+		}
+	case "assign":
+		items, err := c.AssignBatch(ctx, qs, mode)
+		fatal(err)
+		for _, it := range items {
+			ok = emit(it.Result, it.Err) && ok
+		}
+	default:
+		fatal(fmt.Errorf("-batch supports -op distance, nearest, or assign, not %q", op))
+	}
+	if !ok {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,81 @@
+// Command tabmine-replay drives a live tabmine-serve instance with a
+// zipf-skewed, open-loop query workload and reports shed rate,
+// degraded-tier rate, and latency percentiles as JSON.
+//
+//	tabmine-replay -server http://127.0.0.1:8080 -n 2000 -rate 800 \
+//	    -batch 16 -op nearest -mode auto -seed 7 -out replay.json
+//
+// Arrivals follow a deterministic seeded Poisson schedule that does not
+// slow down when the server does (open loop): queries past the
+// -max-outstanding cap are dropped and counted as overflow, and no
+// request is ever retried — a shed is a measurement. The same -seed
+// replays the identical query stream, so two runs against the same
+// snapshot differ only in timing-dependent outcomes. Exit status: 0 on
+// a completed replay, 1 on failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/runctx"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		base        = flag.String("server", "http://127.0.0.1:8080", "server base URL")
+		n           = flag.Int("n", 1000, "total queries to issue")
+		rate        = flag.Float64("rate", 500, "target arrival rate in queries/second")
+		batch       = flag.Int("batch", 1, "queries per request (1 = single GETs, >1 = POST /v1/batch/*)")
+		op          = flag.String("op", "nearest", "operation: nearest | assign | distance")
+		mode        = flag.String("mode", server.ModeAuto, "accuracy mode sent with every query")
+		seed        = flag.Uint64("seed", 1, "workload and schedule seed")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (> 1)")
+		outstanding = flag.Int("max-outstanding", 64, "open-loop cap on in-flight requests")
+		timeoutMS   = flag.Int("timeout-ms", 0, "per-request timeout_ms parameter (0 = server default)")
+		out         = flag.String("out", "", "write the report JSON here instead of stdout")
+		quiet       = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		deadline    = flag.Duration("deadline", 10*time.Minute, "overall deadline for the replay")
+	)
+	flag.Parse()
+
+	ctx, stop := runctx.WithSignals(*deadline)
+	defer stop()
+
+	cfg := replay.Config{
+		BaseURL: *base, Queries: *n, Rate: *rate, Batch: *batch,
+		Op: *op, Mode: *mode, ZipfS: *zipfS, MaxOutstanding: *outstanding,
+		TimeoutMS: *timeoutMS, Seed: *seed,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := replay.Run(ctx, cfg)
+	fatal(err)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	enc = append(enc, '\n')
+	if *out != "" {
+		fatal(os.WriteFile(*out, enc, 0o644))
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "replay: report written to %s\n", *out)
+		}
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-replay: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+// Batched queries: one POST carries up to the server's MaxBatch
+// queries and pays the round trip, encode/decode, and admission once.
+// The whole batch retries under the client's usual policy (the server
+// either admits a batch or sheds it before executing anything, and
+// answers are deterministic, so re-sending is safe); item-level
+// failures do NOT retry — they are the query's own error, reported
+// per item.
+
+// DistanceItem is one DistanceBatch outcome: exactly one of Result and
+// Err is set.
+type DistanceItem struct {
+	Result *server.DistanceResult
+	Err    error
+}
+
+// NearestItem is one NearestBatch outcome.
+type NearestItem struct {
+	Result *server.NearestResult
+	Err    error
+}
+
+// AssignItem is one AssignBatch outcome.
+type AssignItem struct {
+	Result *server.AssignResult
+	Err    error
+}
+
+// DistanceBatch queries /v1/batch/distance for the pairwise distances
+// (as[i], bs[i]). The returned slice always has len(as) entries.
+func (c *Client) DistanceBatch(ctx context.Context, as, bs []table.Rect, mode string) ([]DistanceItem, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("client: %d a-rects vs %d b-rects", len(as), len(bs))
+	}
+	req := server.BatchRequest{Mode: mode, Items: make([]server.BatchItem, len(as))}
+	for i := range as {
+		req.Items[i] = server.BatchItem{A: server.FormatRect(as[i]), B: server.FormatRect(bs[i])}
+	}
+	raws, err := c.batch(ctx, "/v1/batch/distance", &req, len(as))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DistanceItem, len(raws))
+	for i, raw := range raws {
+		if err := itemError(raw); err != nil {
+			out[i].Err = err
+			continue
+		}
+		res := new(server.DistanceResult)
+		if err := json.Unmarshal(raw, res); err != nil {
+			out[i].Err = fmt.Errorf("client: bad item %d: %w", i, err)
+			continue
+		}
+		out[i].Result = res
+	}
+	return out, nil
+}
+
+// NearestBatch queries /v1/batch/nearest for each query rectangle.
+// mode server.ModePrune uses the server's default epsilon/delta.
+func (c *Client) NearestBatch(ctx context.Context, qs []table.Rect, mode string) ([]NearestItem, error) {
+	req := server.BatchRequest{Mode: mode, Items: make([]server.BatchItem, len(qs))}
+	for i, q := range qs {
+		req.Items[i] = server.BatchItem{Q: server.FormatRect(q)}
+	}
+	raws, err := c.batch(ctx, "/v1/batch/nearest", &req, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NearestItem, len(raws))
+	for i, raw := range raws {
+		if err := itemError(raw); err != nil {
+			out[i].Err = err
+			continue
+		}
+		res := new(server.NearestResult)
+		if err := json.Unmarshal(raw, res); err != nil {
+			out[i].Err = fmt.Errorf("client: bad item %d: %w", i, err)
+			continue
+		}
+		out[i].Result = res
+	}
+	return out, nil
+}
+
+// AssignBatch queries /v1/batch/assign for each query rectangle.
+func (c *Client) AssignBatch(ctx context.Context, qs []table.Rect, mode string) ([]AssignItem, error) {
+	req := server.BatchRequest{Mode: mode, Items: make([]server.BatchItem, len(qs))}
+	for i, q := range qs {
+		req.Items[i] = server.BatchItem{Q: server.FormatRect(q)}
+	}
+	raws, err := c.batch(ctx, "/v1/batch/assign", &req, len(qs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AssignItem, len(raws))
+	for i, raw := range raws {
+		if err := itemError(raw); err != nil {
+			out[i].Err = err
+			continue
+		}
+		res := new(server.AssignResult)
+		if err := json.Unmarshal(raw, res); err != nil {
+			out[i].Err = fmt.Errorf("client: bad item %d: %w", i, err)
+			continue
+		}
+		out[i].Result = res
+	}
+	return out, nil
+}
+
+// batch POSTs one batch request through the retry loop and validates
+// the response item count.
+func (c *Client) batch(ctx context.Context, path string, req *server.BatchRequest, n int) ([]json.RawMessage, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	var resp server.BatchResponse
+	if err := c.post(ctx, path, req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Items) != n {
+		return nil, fmt.Errorf("client: batch answered %d items for %d queries", len(resp.Items), n)
+	}
+	return resp.Items, nil
+}
+
+// itemError reports a per-item server error ({"error": ...}) as an
+// error, nil for result payloads.
+func itemError(raw json.RawMessage) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("client: server answered item error: %s", eb.Error)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Tests of the batched client methods (per-item decode, whole-batch
+// retry) and the unparsable-Retry-After satellite: counted, logged
+// once, hint ignored.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+// batchHandler answers /v1/batch/distance with one valid item, one
+// item error, and echoes how many requests it saw.
+func batchHandler(calls *atomic.Int64, failFirst int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failFirst {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "want POST", http.StatusMethodNotAllowed)
+			return
+		}
+		var req server.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := server.BatchResponse{Items: make([]json.RawMessage, len(req.Items))}
+		for i := range req.Items {
+			if i == 1 {
+				resp.Items[i], _ = json.Marshal(map[string]string{"error": "rect out of bounds"})
+				resp.Failed++
+				continue
+			}
+			resp.Items[i], _ = json.Marshal(server.DistanceResult{Distance: float64(i), Tier: server.TierSketch})
+			resp.Served++
+		}
+		json.NewEncoder(w).Encode(&resp)
+	}
+}
+
+func TestDistanceBatchPerItemResults(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(batchHandler(&calls, 0))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := []table.Rect{{Rows: 4, Cols: 4}, {R0: 99, Rows: 4, Cols: 4}, {R0: 8, Rows: 4, Cols: 4}}
+	items, err := c.DistanceBatch(context.Background(), rects, rects, server.ModeSketch)
+	if err != nil {
+		t.Fatalf("DistanceBatch: %v", err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	if items[0].Err != nil || items[0].Result == nil || items[0].Result.Distance != 0 {
+		t.Errorf("item 0: %+v", items[0])
+	}
+	if items[1].Err == nil || !strings.Contains(items[1].Err.Error(), "rect out of bounds") {
+		t.Errorf("item 1: want wrapped server error, got %+v", items[1])
+	}
+	if items[1].Result != nil {
+		t.Errorf("item 1 carries a result alongside its error: %+v", items[1].Result)
+	}
+	if items[2].Err != nil || items[2].Result == nil || items[2].Result.Distance != 2 {
+		t.Errorf("item 2: %+v", items[2])
+	}
+}
+
+// TestBatchRetriesWholeBatch: a shed batch re-sends the identical body
+// under the usual backoff policy.
+func TestBatchRetriesWholeBatch(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(batchHandler(&calls, 2))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Sleep: instant, Budget: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := []table.Rect{{Rows: 4, Cols: 4}}
+	items, err := c.DistanceBatch(context.Background(), rects, rects, "")
+	if err != nil {
+		t.Fatalf("DistanceBatch after sheds: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 sheds + success)", calls.Load())
+	}
+	if items[0].Err != nil {
+		t.Errorf("item 0: %v", items[0].Err)
+	}
+}
+
+func TestBatchLengthValidation(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://127.0.0.1:0", Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := []table.Rect{{Rows: 4, Cols: 4}}
+	if _, err := c.DistanceBatch(context.Background(), r, nil, ""); err == nil {
+		t.Error("mismatched batch lengths: want error")
+	}
+	if _, err := c.NearestBatch(context.Background(), nil, ""); err == nil {
+		t.Error("empty batch: want error")
+	}
+
+	// A server answering the wrong item count is a protocol error.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.BatchResponse{Items: []json.RawMessage{}})
+	}))
+	defer ts.Close()
+	c2, err := New(Config{BaseURL: ts.URL, Sleep: instant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.NearestBatch(context.Background(), r, ""); err == nil || !strings.Contains(err.Error(), "0 items for 1") {
+		t.Errorf("short response: got %v, want item-count mismatch", err)
+	}
+}
+
+// TestRetryAfterUnparsable is the satellite acceptance: a malformed
+// non-empty Retry-After header bumps the retry_after_unparsed expvar,
+// logs exactly once per client, and falls back to plain backoff (the
+// bogus hint must not be honored).
+func TestRetryAfterUnparsable(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "Wed, 21 Oct 2015 07:28:00 GMT")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	var logs []string
+	var slept []time.Duration
+	c, err := New(Config{
+		BaseURL: ts.URL, BaseDelay: time.Millisecond, Budget: time.Hour, Seed: 1,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+		Logf: func(format string, args ...any) {
+			logs = append(logs, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := mRetryAfterUnparsed.Value()
+	if _, err := c.Distance(context.Background(), testRects.a, testRects.b, ""); err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if got := mRetryAfterUnparsed.Value() - before; got != 2 {
+		t.Errorf("retry_after_unparsed advanced %d, want 2", got)
+	}
+	if len(logs) != 1 {
+		t.Errorf("logged %d times, want exactly once: %q", len(logs), logs)
+	}
+	// The bogus HTTP-date (a timestamp far in the past encoded in a form
+	// we don't support) must not become a wait: both sleeps stay at
+	// millisecond-scale backoff, nowhere near a parsed-hint second.
+	for _, d := range slept {
+		if d >= time.Second {
+			t.Errorf("sleep %v suggests the malformed hint was honored", d)
+		}
+	}
+}

@@ -7,9 +7,11 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -48,6 +50,9 @@ type Config struct {
 	// Sleep is the wait primitive, injectable for tests. nil sleeps on
 	// a timer, returning early with ctx's error on cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Logf receives operational warnings (e.g. an unparsable
+	// Retry-After header); nil is silent.
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) setDefaults() {
@@ -75,6 +80,9 @@ func (c *Config) setDefaults() {
 	if c.Sleep == nil {
 		c.Sleep = sleepCtx
 	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -92,12 +100,23 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // budget (attempts or waiting time) runs out. Check with errors.Is.
 var ErrBudgetExhausted = errors.New("client: retry budget exhausted")
 
+// mRetryAfterUnparsed counts Retry-After headers that were present but
+// not parsable as non-negative integer seconds: the hint is ignored
+// (plain backoff still applies) but silently dropping a malformed
+// header across a whole fleet hides a server bug, so it is surfaced on
+// /debug/vars of any process embedding this client.
+var mRetryAfterUnparsed = expvar.NewInt("retry_after_unparsed")
+
 // Client issues queries with retries. Safe for concurrent use.
 type Client struct {
 	cfg Config
 
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	// warnRetryAfter limits the unparsable-Retry-After log line to once
+	// per client; the expvar counter keeps the full count.
+	warnRetryAfter sync.Once
 }
 
 // New builds a Client for cfg.BaseURL.
@@ -197,7 +216,22 @@ func (c *Client) do(ctx context.Context, path string, vals url.Values, mode stri
 	if enc := vals.Encode(); enc != "" {
 		u += "?" + enc
 	}
+	return c.doRetry(ctx, u, nil, out)
+}
 
+// post runs the retry loop around one POST query: the body marshals
+// once and is re-sent verbatim on every attempt.
+func (c *Client) post(ctx context.Context, path string, reqBody, out any) error {
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+	return c.doRetry(ctx, c.cfg.BaseURL+path, body, out)
+}
+
+// doRetry is the shared retry loop; body == nil issues GETs, non-nil
+// issues POSTs.
+func (c *Client) doRetry(ctx context.Context, u string, body []byte, out any) error {
 	var waited time.Duration
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -212,7 +246,7 @@ func (c *Client) do(ctx context.Context, path string, vals url.Values, mode stri
 			}
 			waited += delay
 		}
-		retryable, err := c.attempt(ctx, u, out)
+		retryable, err := c.attempt(ctx, u, body, out)
 		if err == nil {
 			return nil
 		}
@@ -237,12 +271,20 @@ type retryAfterError struct {
 func (e *retryAfterError) Error() string { return e.err.Error() }
 func (e *retryAfterError) Unwrap() error { return e.err }
 
-// attempt performs one HTTP round trip. retryable reports whether the
-// failure class can succeed on retry (shed, timeout, transport).
-func (c *Client) attempt(ctx context.Context, u string, out any) (retryable bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+// attempt performs one HTTP round trip (GET, or POST when reqBody is
+// non-nil). retryable reports whether the failure class can succeed on
+// retry (shed, timeout, transport).
+func (c *Client) attempt(ctx context.Context, u string, reqBody []byte, out any) (retryable bool, err error) {
+	method, rd := http.MethodGet, io.Reader(nil)
+	if reqBody != nil {
+		method, rd = http.MethodPost, bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return false, err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.cfg.HTTP.Do(req)
 	if err != nil {
@@ -268,7 +310,7 @@ func (c *Client) attempt(ctx context.Context, u string, out any) (retryable bool
 	// rate limiting (429), and other transient 5xx (the flaky-nth-request
 	// fault). 4xx means the query itself is wrong — retrying cannot help.
 	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+		if ra := c.parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
 			return true, &retryAfterError{err: herr, hint: ra}
 		}
 		return true, herr
@@ -298,12 +340,21 @@ func (c *Client) backoff(n int, lastErr error) time.Duration {
 	return d
 }
 
-func parseRetryAfter(h string) time.Duration {
+// parseRetryAfter interprets a Retry-After header as integer seconds.
+// A header that is present but unparsable is ignored — plain backoff
+// still applies — but counted on the retry_after_unparsed expvar and
+// logged once per client, so a misbehaving server surfaces instead of
+// silently shortening every wait.
+func (c *Client) parseRetryAfter(h string) time.Duration {
 	if h == "" {
 		return 0
 	}
 	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
 		return time.Duration(secs) * time.Second
 	}
+	mRetryAfterUnparsed.Add(1)
+	c.warnRetryAfter.Do(func() {
+		c.cfg.Logf("client: ignoring unparsable Retry-After header %q", h)
+	})
 	return 0
 }

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// batchPools builds one pool per estimator flavor (p=1 median, p=2 L2)
+// over the same 64x64 table, plus a mixed set of rectangle pairs:
+// exact-dyadic, compound, and varying sizes across the batch.
+func batchPools(t *testing.T) (*table.Table, []*core.Pool, []table.Rect, []table.Rect) {
+	t.Helper()
+	tb := workload.Random(64, 64, 10, 99)
+	var pools []*core.Pool
+	for _, p := range []float64{1, 2} {
+		pool, err := core.NewPool(tb, p, 32, 7, core.PoolOptions{
+			MinLogRows: 2, MaxLogRows: 4, MinLogCols: 2, MaxLogCols: 4,
+		})
+		if err != nil {
+			t.Fatalf("NewPool(p=%v): %v", p, err)
+		}
+		pools = append(pools, pool)
+	}
+	var as, bs []table.Rect
+	add := func(a, b table.Rect) { as = append(as, a); bs = append(bs, b) }
+	add(table.Rect{R0: 0, C0: 0, Rows: 8, Cols: 8}, table.Rect{R0: 16, C0: 16, Rows: 8, Cols: 8}) // exact dyadic
+	add(table.Rect{R0: 1, C0: 2, Rows: 6, Cols: 7}, table.Rect{R0: 30, C0: 9, Rows: 6, Cols: 7})  // compound
+	add(table.Rect{R0: 0, C0: 0, Rows: 16, Cols: 16}, table.Rect{R0: 40, C0: 40, Rows: 16, Cols: 16})
+	add(table.Rect{R0: 5, C0: 5, Rows: 5, Cols: 12}, table.Rect{R0: 5, C0: 40, Rows: 5, Cols: 12}) // compound, non-square
+	add(table.Rect{R0: 3, C0: 3, Rows: 8, Cols: 8}, table.Rect{R0: 3, C0: 3, Rows: 8, Cols: 8})    // identical rects
+	for len(as) < 67 {                                                                             // not a multiple of any internal block size
+		i := len(as) % 5
+		add(as[i], bs[i])
+	}
+	return tb, pools, as, bs
+}
+
+// TestDistanceBatchBitIdentical pins the batch kernels' contract: every
+// batched estimate equals the one-at-a-time Pool.Distance bits exactly,
+// for both the L2 and the median estimator.
+func TestDistanceBatchBitIdentical(t *testing.T) {
+	_, pools, as, bs := batchPools(t)
+	for _, pool := range pools {
+		got, err := pool.DistanceBatch(as, bs, nil)
+		if err != nil {
+			t.Fatalf("DistanceBatch(p=%v): %v", pool.P(), err)
+		}
+		if len(got) != len(as) {
+			t.Fatalf("batch returned %d results for %d pairs", len(got), len(as))
+		}
+		for i := range as {
+			want, err := pool.Distance(as[i], bs[i])
+			if err != nil {
+				t.Fatalf("Distance(%v, %v): %v", as[i], bs[i], err)
+			}
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Errorf("p=%v item %d: batch %v != sequential %v", pool.P(), i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestSketchBatchLaneMajorLayout checks the lane-major matrix layout
+// against per-rect Pool.Sketch.
+func TestSketchBatchLaneMajorLayout(t *testing.T) {
+	_, pools, as, _ := batchPools(t)
+	pool := pools[0]
+	n := len(as)
+	mat, err := pool.SketchBatch(as, nil)
+	if err != nil {
+		t.Fatalf("SketchBatch: %v", err)
+	}
+	if len(mat) != n*pool.K() {
+		t.Fatalf("matrix length %d, want %d", len(mat), n*pool.K())
+	}
+	for i, rect := range as {
+		sk, err := pool.Sketch(rect, nil)
+		if err != nil {
+			t.Fatalf("Sketch(%v): %v", rect, err)
+		}
+		for l, v := range sk {
+			if math.Float64bits(mat[l*n+i]) != math.Float64bits(v) {
+				t.Fatalf("item %d lane %d: matrix %v != sketch %v", i, l, mat[l*n+i], v)
+			}
+		}
+	}
+}
+
+// TestDistanceBatchErrors covers the rejection paths: mismatched batch
+// lengths, mismatched pair sizes, and an unsketchable rect.
+func TestDistanceBatchErrors(t *testing.T) {
+	_, pools, as, bs := batchPools(t)
+	pool := pools[0]
+	if _, err := pool.DistanceBatch(as[:2], bs[:1], nil); err == nil {
+		t.Error("mismatched batch lengths: want error")
+	}
+	if _, err := pool.DistanceBatch(
+		[]table.Rect{{R0: 0, C0: 0, Rows: 8, Cols: 8}},
+		[]table.Rect{{R0: 0, C0: 0, Rows: 8, Cols: 16}}, nil); err == nil {
+		t.Error("different-size pair: want error")
+	}
+	if _, err := pool.DistanceBatch(
+		[]table.Rect{{R0: 0, C0: 0, Rows: 2, Cols: 2}}, // below MinLog size 4
+		[]table.Rect{{R0: 0, C0: 0, Rows: 2, Cols: 2}}, nil); err == nil {
+		t.Error("unsketchable rect: want error")
+	}
+	if got, err := pool.DistanceBatch(nil, nil, nil); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: got %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestDistanceBatchSteadyStateAllocs asserts the pooled-scratch
+// contract: once warm, a whole batched evaluation allocates O(1) —
+// nowhere near one allocation per item.
+func TestDistanceBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are process-global and distorted under the race detector")
+	}
+	_, pools, as, bs := batchPools(t)
+	for _, pool := range pools {
+		dst := make([]float64, len(as))
+		// Warm the buffer pool.
+		if _, err := pool.DistanceBatch(as, bs, dst); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := pool.DistanceBatch(as, bs, dst); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 8 {
+			t.Errorf("p=%v: %.1f allocs per %d-item batch, want O(1)", pool.P(), allocs, len(as))
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector instruments this
+// build; allocation-count assertions skip under it (instrumentation
+// and slower concurrent tests distort process-global alloc counts).
+const raceEnabled = true

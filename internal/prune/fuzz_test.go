@@ -18,10 +18,10 @@ import (
 // than the screen admits (i.e. it matches the exact scan).
 func FuzzProgressiveNearest(f *testing.F) {
 	f.Add(uint64(1), 8, 9, 2, 3, 4, 0.1, 0.05)
-	f.Add(uint64(2), 1, 1, 1, 1, 1, 0.0, 0.5)      // single candidate, k=1
-	f.Add(uint64(3), 2, 3, 4, 4, 1, 2.0, 0.001)    // tiny chunk
-	f.Add(uint64(4), 33, 17, 3, 2, 16, 0.3, 0.01)  // chunked multi-round
-	f.Add(uint64(5), 5, 64, 1, 1, 8, 0.05, 0.9)    // 1x1 tiles, sketch >> table
+	f.Add(uint64(2), 1, 1, 1, 1, 1, 0.0, 0.5)     // single candidate, k=1
+	f.Add(uint64(3), 2, 3, 4, 4, 1, 2.0, 0.001)   // tiny chunk
+	f.Add(uint64(4), 33, 17, 3, 2, 16, 0.3, 0.01) // chunked multi-round
+	f.Add(uint64(5), 5, 64, 1, 1, 8, 0.05, 0.9)   // 1x1 tiles, sketch >> table
 	f.Fuzz(func(t *testing.T, seed uint64, n, k, rows, cols, chunk int, epsilon, delta float64) {
 		n = clampInt(n, 1, 48)
 		k = clampInt(k, 1, 80)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -178,16 +177,15 @@ func Nearest(ctx context.Context, src Source, cfg Config) (int, float64, Stats, 
 
 	var stats Stats
 
-	// ---- Screen: progressive sketch estimates, chunked.
-	slots := make([]screenSlot, src.N)
-	// Per-chunk-position scratch, reused across chunks: each position is
-	// owned by exactly one candidate at a time.
-	diffsBuf := make([][]float64, min(chunk, src.N))
-	workBuf := make([][]float64, len(diffsBuf))
-	for i := range diffsBuf {
-		diffsBuf[i] = make([]float64, src.K)
-		workBuf[i] = make([]float64, src.K)
-	}
+	// ---- Screen: progressive sketch estimates, chunked. All working
+	// memory (per-candidate slots, per-chunk-position diff/work buffers
+	// — each position is owned by exactly one candidate at a time —,
+	// the survivor list, and the refinement slots) is recycled through
+	// the package scratch pool, so a steady-state search allocates O(1).
+	sc := getScratch(src.N, src.K, max(min(chunk, src.N), 1))
+	defer putScratch(sc)
+	slots := sc.slots
+	diffsBuf, workBuf := sc.diffs, sc.work
 	bestEst := math.Inf(1)
 	for lo := 0; lo < src.N; lo += chunk {
 		hi := min(lo+chunk, src.N)
@@ -229,7 +227,7 @@ func Nearest(ctx context.Context, src Source, cfg Config) (int, float64, Stats, 
 	// Survivor filter: candidates that completed the screen early (when
 	// the reference was still loose) are re-tested against the final
 	// reference, at the final checkpoint's certified level.
-	survivors := make([]int, 0, src.N)
+	survivors := sc.survivors
 	if cfg.Plan != nil {
 		finalRef := cfg.Plan.pruneRef(bestEst, cfg.Epsilon, slack)
 		hiK := cfg.Plan.hi[len(cfg.Plan.hi)-1]
@@ -257,28 +255,12 @@ func Nearest(ctx context.Context, src Source, cfg Config) (int, float64, Stats, 
 	// Refine in estimated-nearest-first order, so the best exact
 	// distance lands early and the partial-sum cutoff bites hard. NaN
 	// estimates order last (they certify nothing).
-	key := func(i int) float64 {
-		if e := slots[i].est; !math.IsNaN(e) {
-			return e
-		}
-		return math.Inf(1)
-	}
-	sort.Slice(survivors, func(a, b int) bool {
-		ka, kb := key(survivors[a]), key(survivors[b])
-		if ka != kb {
-			return ka < kb
-		}
-		return survivors[a] < survivors[b]
-	})
+	sc.survivors = survivors
+	sc.sortSurvivors()
 
 	// ---- Refine: exact distances with the sound monotone cutoff.
 	bestIdx, bestSum := -1, math.Inf(1)
-	type refSlot struct {
-		sum       float64
-		rows      int
-		abandoned bool
-	}
-	ref := make([]refSlot, min(chunk, len(survivors)))
+	ref := sc.ref
 	for lo := 0; lo < len(survivors); lo += chunk {
 		hi := min(lo+chunk, len(survivors))
 		bound := bestSum

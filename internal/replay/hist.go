@@ -1,0 +1,83 @@
+package replay
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed latency histogram: bucket i covers
+// [histBase·2^i, histBase·2^(i+1)), starting at 50µs — fine enough to
+// separate a sketch-tier hit from an exact scan, coarse enough that
+// recording is one atomic add on the hot path.
+
+const (
+	histBase    = 50 * time.Microsecond
+	histBuckets = 28 // last bucket reaches ~1.9h; overflow clamps there
+)
+
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+func (h *histogram) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	if d >= histBase {
+		i = int(math.Log2(float64(d) / float64(histBase)))
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// ranked observation (q in [0,1]) — a deterministic, conservative
+// estimate (true latency ≤ the reported value, within one bucket).
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return histBase << uint(i+1)
+		}
+	}
+	return histBase << histBuckets
+}
+
+// Bucket is one non-empty histogram bucket in the JSON report.
+type Bucket struct {
+	UpToMS float64 `json:"up_to_ms"` // upper latency bound of the bucket
+	Count  int64   `json:"count"`
+}
+
+func (h *histogram) buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		if n := h.counts[i].Load(); n > 0 {
+			up := histBase << uint(i+1)
+			out = append(out, Bucket{UpToMS: float64(up) / float64(time.Millisecond), Count: n})
+		}
+	}
+	return out
+}

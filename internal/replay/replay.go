@@ -1,0 +1,388 @@
+// Package replay is the workload-replay latency harness: it drives a
+// live tabmine-serve instance with a zipf-skewed, open-loop query
+// stream and measures what the serving policy actually does under that
+// load — shed rate, degraded-tier rate, and the latency distribution.
+//
+// Open loop means arrivals follow a deterministic seeded Poisson
+// schedule that does NOT slow down when the server does; queries that
+// would exceed the in-flight cap are dropped and counted (overflow)
+// instead of silently converting the harness into a closed loop. The
+// HTTP client never retries: a shed is a measurement, not an error to
+// paper over.
+//
+// The workload is reproducible end to end: tile popularity (zipf
+// rank → grid tile), arrival times, and batch composition all derive
+// from Config.Seed. Server answers are deterministic functions of
+// (snapshot, query), so two replays against the same snapshot differ
+// only in timing-dependent outcomes (shed / degraded / latency) —
+// which is exactly the signal the harness exists to measure.
+package replay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+// Config tunes one replay run.
+type Config struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Queries is the total number of queries to issue (default 1000).
+	// With Batch > 1 the queries are grouped into ⌈Queries/Batch⌉
+	// requests.
+	Queries int
+	// Rate is the target arrival rate in queries/second (default 500).
+	// Inter-arrival times are exponential (Poisson arrivals).
+	Rate float64
+	// Batch groups queries into POST /v1/batch/* requests of this size;
+	// 0 or 1 issues single GETs.
+	Batch int
+	// Op is the query type: "nearest" (default), "assign", "distance".
+	Op string
+	// Mode is the accuracy mode sent with every query (default auto).
+	Mode string
+	// ZipfS is the zipf skew exponent s > 1 (default 1.2); higher
+	// concentrates traffic on fewer tiles.
+	ZipfS float64
+	// MaxOutstanding caps concurrently in-flight requests (default 64).
+	// Arrivals past the cap are dropped and counted as overflow.
+	MaxOutstanding int
+	// TimeoutMS is the per-request timeout_ms parameter (0 = server
+	// default).
+	TimeoutMS int
+	// Seed makes the schedule and workload deterministic (0 means 1).
+	Seed uint64
+	// HTTP is the transport; nil builds a non-retrying http.Client.
+	HTTP *http.Client
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("replay: BaseURL required")
+	}
+	if c.Queries <= 0 {
+		c.Queries = 1000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 500
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Op == "" {
+		c.Op = "nearest"
+	}
+	if c.Op != "nearest" && c.Op != "assign" && c.Op != "distance" {
+		return fmt.Errorf("replay: unknown op %q", c.Op)
+	}
+	if c.Mode == "" {
+		c.Mode = server.ModeAuto
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Percentiles are conservative bucket-upper-bound latency quantiles in
+// milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Report is the JSON result of one replay run.
+type Report struct {
+	Op             string      `json:"op"`
+	Mode           string      `json:"mode"`
+	Batch          int         `json:"batch"`
+	TargetRate     float64     `json:"target_rate_qps"`
+	Seed           uint64      `json:"seed"`
+	Tiles          int         `json:"tiles"` // distinct tiles in the popularity law
+	Queries        int         `json:"queries"`
+	Requests       int64       `json:"requests"`  // HTTP requests issued
+	Served         int64       `json:"served"`    // queries answered 2xx
+	Shed           int64       `json:"shed"`      // queries shed with 503
+	TimedOut       int64       `json:"timed_out"` // queries failing with 504
+	Errors         int64       `json:"errors"`    // other failures (per-item or transport)
+	Overflow       int64       `json:"overflow"`  // queries dropped at the open-loop cap
+	Degraded       int64       `json:"degraded"`  // served queries answered on a degraded tier
+	ElapsedSec     float64     `json:"elapsed_sec"`
+	AchievedRate   float64     `json:"achieved_rate_qps"` // (served+shed+timed_out+errors)/elapsed
+	ShedRate       float64     `json:"shed_rate"`         // shed / issued
+	DegradedRate   float64     `json:"degraded_rate"`     // degraded / served
+	RequestLatency Percentiles `json:"request_latency"`
+	Histogram      []Bucket    `json:"histogram"`
+}
+
+// Run replays one workload against cfg.BaseURL and reports what the
+// server did with it.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	geom, err := discover(ctx, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	reqs := buildWorkload(&cfg, geom)
+	cfg.Logf("replay: %d queries in %d requests against %d tiles (zipf s=%v, %.0f qps)",
+		cfg.Queries, len(reqs), geom.tiles, cfg.ZipfS, cfg.Rate)
+
+	var (
+		hist     histogram
+		served   atomic.Int64
+		shed     atomic.Int64
+		timedOut atomic.Int64
+		errs     atomic.Int64
+		overflow atomic.Int64
+		degraded atomic.Int64
+		requests atomic.Int64
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	arrival := rand.New(rand.NewPCG(cfg.Seed, 0x6172726976616c)) // arrival schedule stream
+	start := time.Now()
+	elapsed := 0.0 // scheduled seconds since start
+
+	for _, rq := range reqs {
+		// Poisson arrivals: exponential inter-arrival per REQUEST so the
+		// per-query rate holds regardless of batching.
+		elapsed += arrival.ExpFloat64() / (cfg.Rate / float64(rq.n))
+		if d := time.Until(start.Add(time.Duration(elapsed * float64(time.Second)))); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			overflow.Add(int64(rq.n)) // open loop: drop, never queue
+			continue
+		}
+		wg.Add(1)
+		requests.Add(1)
+		go func(rq request) {
+			defer func() { <-sem; wg.Done() }()
+			t0 := time.Now()
+			out := rq.issue(ctx, &cfg)
+			hist.record(time.Since(t0))
+			served.Add(out.served)
+			shed.Add(out.shed)
+			timedOut.Add(out.timedOut)
+			errs.Add(out.errs)
+			degraded.Add(out.degraded)
+		}(rq)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	issued := served.Load() + shed.Load() + timedOut.Load() + errs.Load()
+	rep := &Report{
+		Op: cfg.Op, Mode: cfg.Mode, Batch: cfg.Batch, TargetRate: cfg.Rate,
+		Seed: cfg.Seed, Tiles: geom.tiles, Queries: cfg.Queries,
+		Requests: requests.Load(),
+		Served:   served.Load(), Shed: shed.Load(), TimedOut: timedOut.Load(),
+		Errors: errs.Load(), Overflow: overflow.Load(), Degraded: degraded.Load(),
+		ElapsedSec: wall,
+		RequestLatency: Percentiles{
+			P50: ms(hist.quantile(0.50)), P90: ms(hist.quantile(0.90)),
+			P95: ms(hist.quantile(0.95)), P99: ms(hist.quantile(0.99)),
+			Max: float64(hist.maxNS.Load()) / float64(time.Millisecond),
+		},
+		Histogram: hist.buckets(),
+	}
+	if wall > 0 {
+		rep.AchievedRate = float64(issued) / wall
+	}
+	if issued > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(issued)
+	}
+	if rep.Served > 0 {
+		rep.DegradedRate = float64(rep.Degraded) / float64(rep.Served)
+	}
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// geometry is the query shape discovered from /healthz.
+type geometry struct {
+	gridRows, gridCols int // tiles per axis
+	tileRows, tileCols int
+	tiles              int
+}
+
+func discover(ctx context.Context, cfg *Config) (*geometry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replay: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("replay: healthz: %w", err)
+	}
+	if h.TileRows <= 0 || h.TileCols <= 0 || h.Tiles <= 0 {
+		return nil, fmt.Errorf("replay: server reports no tile grid (tiles=%d, tile=%dx%d)",
+			h.Tiles, h.TileRows, h.TileCols)
+	}
+	return &geometry{
+		gridRows: h.Rows / h.TileRows, gridCols: h.Cols / h.TileCols,
+		tileRows: h.TileRows, tileCols: h.TileCols,
+		tiles: h.Tiles,
+	}, nil
+}
+
+// request is one scheduled HTTP request carrying n queries: a GET of
+// target when body is nil, a POST of body to target otherwise.
+type request struct {
+	n      int
+	body   []byte
+	target string
+}
+
+type outcome struct {
+	served, shed, timedOut, errs, degraded int64
+}
+
+// buildWorkload materializes the deterministic query stream: zipf
+// ranks map to grid tiles through a seeded shuffle, so popularity is
+// skewed but not grid-corner-biased.
+func buildWorkload(cfg *Config, g *geometry) []request {
+	wl := rand.New(rand.NewPCG(cfg.Seed, 0x776f726b6c6f6164)) // workload stream
+	zipf := rand.NewZipf(wl, cfg.ZipfS, 1, uint64(g.tiles-1))
+	perm := wl.Perm(g.tiles)
+	tileRect := func() string {
+		t := perm[int(zipf.Uint64())]
+		r := table.Rect{
+			R0: (t / g.gridCols) * g.tileRows, C0: (t % g.gridCols) * g.tileCols,
+			Rows: g.tileRows, Cols: g.tileCols,
+		}
+		return server.FormatRect(r)
+	}
+
+	suffix := "&mode=" + cfg.Mode
+	if cfg.TimeoutMS > 0 {
+		suffix += fmt.Sprintf("&timeout_ms=%d", cfg.TimeoutMS)
+	}
+	var reqs []request
+	for issued := 0; issued < cfg.Queries; {
+		n := min(cfg.Batch, cfg.Queries-issued)
+		issued += n
+		if cfg.Batch == 1 {
+			var path string
+			if cfg.Op == "distance" {
+				path = "/v1/distance?a=" + tileRect() + "&b=" + tileRect() + suffix
+			} else {
+				path = "/v1/" + cfg.Op + "?q=" + tileRect() + suffix
+			}
+			reqs = append(reqs, request{n: 1, target: path})
+			continue
+		}
+		br := server.BatchRequest{Mode: cfg.Mode, TimeoutMS: cfg.TimeoutMS,
+			Items: make([]server.BatchItem, n)}
+		for i := range br.Items {
+			if cfg.Op == "distance" {
+				br.Items[i] = server.BatchItem{A: tileRect(), B: tileRect()}
+			} else {
+				br.Items[i] = server.BatchItem{Q: tileRect()}
+			}
+		}
+		body, _ := json.Marshal(&br)
+		reqs = append(reqs, request{n: n, body: body, target: "/v1/batch/" + cfg.Op})
+	}
+	return reqs
+}
+
+// issue performs the request without retries and classifies the
+// outcome of each query it carried.
+func (rq request) issue(ctx context.Context, cfg *Config) outcome {
+	var (
+		hreq *http.Request
+		err  error
+	)
+	if rq.body == nil {
+		hreq, err = http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+rq.target, nil)
+	} else {
+		hreq, err = http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+rq.target, bytes.NewReader(rq.body))
+		if hreq != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return outcome{errs: int64(rq.n)}
+	}
+	resp, err := cfg.HTTP.Do(hreq)
+	if err != nil {
+		return outcome{errs: int64(rq.n)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return outcome{errs: int64(rq.n)}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable:
+		return outcome{shed: int64(rq.n)}
+	case http.StatusGatewayTimeout:
+		return outcome{timedOut: int64(rq.n)}
+	default:
+		return outcome{errs: int64(rq.n)}
+	}
+	if rq.body != nil {
+		var br server.BatchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			return outcome{errs: int64(rq.n)}
+		}
+		return outcome{
+			served: int64(br.Served), errs: int64(br.Failed), degraded: int64(br.Degraded),
+		}
+	}
+	var tag struct {
+		Degraded bool `json:"degraded"`
+	}
+	out := outcome{served: 1}
+	if json.Unmarshal(body, &tag) == nil && tag.Degraded {
+		out.degraded = 1
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Tests of the replay harness against a real in-process server:
+// workload determinism, outcome classification (served / shed /
+// degraded), open-loop overflow, and histogram quantile arithmetic.
+package replay
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+var (
+	snapOnce sync.Once
+	snapVal  *server.Snapshot
+	snapErr  error
+)
+
+// snap builds a small shared snapshot: 32x32 table, 8x8 tiles, 2
+// clusters.
+func snap(t *testing.T) *server.Snapshot {
+	t.Helper()
+	snapOnce.Do(func() {
+		tb := workload.Random(32, 32, 10, 3)
+		pool, err := core.NewPool(tb, 1, 16, 5, core.PoolOptions{
+			MinLogRows: 3, MaxLogRows: 3, MinLogCols: 3, MaxLogCols: 3,
+		})
+		if err != nil {
+			snapErr = err
+			return
+		}
+		snapVal, snapErr = server.BuildSnapshot(context.Background(), tb, pool, server.SnapshotConfig{
+			TileRows: 8, TileCols: 8, Clusters: 2, Seed: 5,
+		})
+	})
+	if snapErr != nil {
+		t.Fatalf("snapshot: %v", snapErr)
+	}
+	return snapVal
+}
+
+func serve(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s, err := server.New(snap(t), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWorkloadDeterministic: the same seed yields the identical
+// request stream; a different seed does not.
+func TestWorkloadDeterministic(t *testing.T) {
+	g := &geometry{gridRows: 4, gridCols: 4, tileRows: 8, tileCols: 8, tiles: 16}
+	mk := func(seed uint64, batch int) []request {
+		cfg := Config{BaseURL: "http://x", Queries: 40, Batch: batch, Seed: seed}
+		if err := cfg.setDefaults(); err != nil {
+			t.Fatal(err)
+		}
+		return buildWorkload(&cfg, g)
+	}
+	same1, same2 := mk(7, 1), mk(7, 1)
+	if len(same1) != 40 {
+		t.Fatalf("got %d requests, want 40", len(same1))
+	}
+	for i := range same1 {
+		if same1[i].target != same2[i].target {
+			t.Fatalf("request %d differs under one seed: %q vs %q", i, same1[i].target, same2[i].target)
+		}
+	}
+	diff := mk(8, 1)
+	equal := 0
+	for i := range same1 {
+		if same1[i].target == diff[i].target {
+			equal++
+		}
+	}
+	if equal == len(same1) {
+		t.Error("seed change left the workload identical")
+	}
+
+	b1, b2 := mk(7, 16), mk(7, 16)
+	if len(b1) != 3 { // 16+16+8
+		t.Fatalf("got %d batch requests, want 3", len(b1))
+	}
+	if b1[2].n != 8 {
+		t.Errorf("tail batch carries %d queries, want 8", b1[2].n)
+	}
+	for i := range b1 {
+		if string(b1[i].body) != string(b2[i].body) {
+			t.Fatalf("batch body %d differs under one seed", i)
+		}
+	}
+}
+
+// TestReplayServes runs a real replay against an unloaded server:
+// every query must be served, none shed, and the report coherent.
+func TestReplayServes(t *testing.T) {
+	ts := serve(t, server.Config{})
+	for _, batch := range []int{1, 8} {
+		rep, err := Run(context.Background(), Config{
+			BaseURL: ts.URL, Queries: 60, Rate: 5000, Batch: batch,
+			Op: "nearest", Mode: server.ModeSketch, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if rep.Served != 60 || rep.Shed != 0 || rep.Errors != 0 || rep.Overflow != 0 {
+			t.Errorf("batch=%d: %+v", batch, rep)
+		}
+		wantReqs := int64((60 + batch - 1) / batch)
+		if rep.Requests != wantReqs {
+			t.Errorf("batch=%d: %d requests, want %d", batch, rep.Requests, wantReqs)
+		}
+		if rep.RequestLatency.P50 <= 0 || rep.RequestLatency.P99 < rep.RequestLatency.P50 {
+			t.Errorf("batch=%d: implausible latency %+v", batch, rep.RequestLatency)
+		}
+		var total int64
+		for _, b := range rep.Histogram {
+			total += b.Count
+		}
+		if total != wantReqs {
+			t.Errorf("batch=%d: histogram holds %d observations, want %d", batch, total, wantReqs)
+		}
+	}
+}
+
+// TestReplayClassifiesShed: a server that always sheds yields shed
+// counts and a shed rate of 1.
+func TestReplayClassifiesShed(t *testing.T) {
+	mux := http.NewServeMux()
+	real := serve(t, server.Config{})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(real.URL + "/healthz")
+		if err != nil {
+			w.WriteHeader(500)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(200)
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		w.Write(buf[:n])
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"saturated"}`, http.StatusServiceUnavailable)
+	})
+	shedTS := httptest.NewServer(mux)
+	defer shedTS.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: shedTS.URL, Queries: 30, Rate: 10000, Batch: 10, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 30 || rep.Served != 0 {
+		t.Errorf("shed %d served %d, want 30 / 0", rep.Shed, rep.Served)
+	}
+	if rep.ShedRate != 1 {
+		t.Errorf("shed rate %v, want 1", rep.ShedRate)
+	}
+}
+
+// TestReplayCountsDegraded: mode=auto against a tiny saturated server
+// must report degraded answers through the per-item tags.
+func TestReplayCountsDegraded(t *testing.T) {
+	// DegradeAt is tiny, so any concurrent occupancy degrades the rest.
+	ts := serve(t, server.Config{MaxInflight: 1, MaxQueue: 64, DegradeAt: 0.01})
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Queries: 40, Rate: 100000, Batch: 8,
+		Op: "nearest", Mode: server.ModeAuto, Seed: 4, MaxOutstanding: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8-item batch alone puts occupancy at 8/65 > 1%: every admitted
+	// item after the first batch item degrades.
+	if rep.Served == 0 {
+		t.Fatalf("nothing served: %+v", rep)
+	}
+	if rep.Degraded == 0 {
+		t.Errorf("no degraded answers under saturation: %+v", rep)
+	}
+	if rep.DegradedRate <= 0 || rep.DegradedRate > 1 {
+		t.Errorf("degraded rate %v out of range", rep.DegradedRate)
+	}
+}
+
+// TestHistogramQuantiles pins the bucket arithmetic.
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	for i := 0; i < 90; i++ {
+		h.record(60 * time.Microsecond) // bucket [50µs, 100µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.record(90 * time.Millisecond)
+	}
+	if got := h.quantile(0.50); got != 100*time.Microsecond {
+		t.Errorf("p50 %v, want 100µs", got)
+	}
+	if got := h.quantile(0.99); got < 90*time.Millisecond || got > 256*time.Millisecond {
+		t.Errorf("p99 %v, want a bucket covering 90ms", got)
+	}
+	if math.Abs(float64(h.maxNS.Load())-float64(90*time.Millisecond)) > 1 {
+		t.Errorf("max %vns, want 90ms", h.maxNS.Load())
+	}
+	bs := h.buckets()
+	var total int64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Errorf("buckets hold %d, want 100", total)
+	}
+	var empty histogram
+	if got := empty.quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 %v, want 0", got)
+	}
+	_ = table.Rect{} // keep the geometry import set honest
+}

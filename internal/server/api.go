@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -121,19 +122,63 @@ type AssignResult struct {
 	Prune    *PruneStats `json:"prune,omitempty"`
 }
 
-// Health answers /healthz.
+// Health answers /healthz. TileRows/TileCols expose the grid query
+// geometry so load generators (tabmine-replay) can synthesize valid
+// tile-sized queries without out-of-band configuration.
 type Health struct {
 	Status   string `json:"status"`
 	Rows     int    `json:"rows"`
 	Cols     int    `json:"cols"`
 	Tiles    int    `json:"tiles"`
 	Clusters int    `json:"clusters"`
+	TileRows int    `json:"tile_rows"`
+	TileCols int    `json:"tile_cols"`
 	Reloads  int64  `json:"reloads"` // snapshot swaps since startup
 }
 
-// errorBody is the JSON shape of every non-2xx answer.
+// errorBody is the JSON shape of every non-2xx answer and of every
+// failed batch item.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// BatchItem is one query inside a BatchRequest: a/b for distance
+// batches, q for nearest and assign batches, in the same
+// "row,col,height,width" encoding the GET endpoints take.
+type BatchItem struct {
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	Q string `json:"q,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch/{distance,nearest,assign}.
+// Mode, timeout, and the prune knobs are batch-level: the whole batch
+// is decoded once, admitted once (at weight len(items)), and — in
+// ModePrune — resolves its checkpoint plan once. Tier decisions remain
+// per item, so an auto batch can degrade mid-flight.
+type BatchRequest struct {
+	// Mode is the accuracy mode applied to every item (default auto).
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS bounds the whole batch (default DefaultTimeout, capped
+	// at MaxTimeout), like the timeout_ms query parameter.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Epsilon and Delta tune mode=prune (defaults DefaultPruneEpsilon /
+	// DefaultPruneDelta).
+	Epsilon *float64 `json:"epsilon,omitempty"`
+	Delta   *float64 `json:"delta,omitempty"`
+
+	Items []BatchItem `json:"items"`
+}
+
+// BatchResponse answers /v1/batch/*. Items[i] is either the exact JSON
+// object the corresponding single-query GET endpoint would return for
+// item i (byte-identical under equal load), or an errorBody when that
+// item alone failed — one malformed item never fails its batch.
+type BatchResponse struct {
+	Items    []json.RawMessage `json:"items"`
+	Served   int               `json:"served"`   // items answered
+	Failed   int               `json:"failed"`   // items that returned errors
+	Degraded int               `json:"degraded"` // items answered degraded (load/deadline)
 }
 
 // FormatRect renders a rectangle in the query-parameter encoding

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/prune"
+	"repro/internal/table"
+)
+
+// Batched query serving: POST /v1/batch/{distance,nearest,assign}
+// carries up to MaxBatch queries in one JSON body. The per-request
+// overhead — HTTP round trip, JSON decode/encode, deadline setup, and
+// above all admission — is paid once per batch instead of once per
+// query, while the answers themselves stay byte-identical to the
+// single-query endpoints: each item runs through the same item*
+// function GET uses, and each item makes its own tier decision, so a
+// batch under pressure degrades mid-flight exactly like a stream of
+// singles would.
+
+// maxBatchBody bounds the request body; at MaxBatch=256 a full batch
+// is a few KiB, so 8 MiB is generous headroom for large MaxBatch
+// configurations without letting a client buffer arbitrary input.
+const maxBatchBody = 8 << 20
+
+// batchFunc executes the items of one admitted batch, filling resp.
+// A non-nil error fails the whole batch with 400 (used only for
+// batch-level problems: bad mode/prune knobs, never for item errors).
+type batchFunc func(ctx context.Context, sn *Snapshot, req *BatchRequest, resp *BatchResponse) error
+
+// handleBatch applies the shared batch serving policy: decode once,
+// validate batch-level knobs, admit once at weight len(items), then
+// hand the items to run.
+func (s *Server) handleBatch(op string, run batchFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(1)
+		mBatchRequests.Add(1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "batch endpoints accept POST only")
+			return
+		}
+
+		var req BatchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+			return
+		}
+		n := len(req.Items)
+		if n == 0 {
+			writeError(w, http.StatusBadRequest, "empty batch")
+			return
+		}
+		if n > s.cfg.MaxBatch {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d items exceeds the %d-item limit", n, s.cfg.MaxBatch))
+			return
+		}
+		if req.Mode == "" {
+			req.Mode = ModeAuto
+		}
+		if req.Mode != ModeAuto && req.Mode != ModeExact && req.Mode != ModeSketch && req.Mode != ModePrune {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad mode %q", req.Mode))
+			return
+		}
+		if req.TimeoutMS < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout_ms %d", req.TimeoutMS))
+			return
+		}
+		timeout := s.cfg.DefaultTimeout
+		if req.TimeoutMS > 0 {
+			timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		release, status := s.admit(ctx, n)
+		switch status {
+		case admitShed:
+			mShed.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable, "server saturated, retry later")
+			return
+		case admitTimeout:
+			mTimedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline expired while queued")
+			return
+		}
+		defer release()
+
+		if s.cfg.Hook != nil {
+			if err := s.cfg.Hook("batch/" + op); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		}
+		mBatchItems.Add(int64(n))
+
+		resp := &BatchResponse{Items: make([]json.RawMessage, n)}
+		if err := run(ctx, s.snap.Load(), &req, resp); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// itemHook runs the test-only per-item fault hook.
+func (s *Server) itemHook(op string, item int) error {
+	if s.cfg.ItemHook == nil {
+		return nil
+	}
+	return s.cfg.ItemHook(op, item)
+}
+
+// finishItem records one item outcome: res marshaled into slot i on
+// success, an errorBody — with the same message the single-query
+// endpoint would have sent — on failure.
+func (resp *BatchResponse) finishItem(i int, res any, err error) {
+	if err == nil {
+		data, merr := json.Marshal(res)
+		if merr != nil {
+			err = merr
+		} else {
+			resp.Items[i] = data
+			resp.Served++
+			mServed.Add(1)
+			if degradedItem(res) {
+				resp.Degraded++
+			}
+			return
+		}
+	}
+	msg := err.Error()
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		msg = "deadline expired mid-computation"
+		mTimedOut.Add(1)
+	}
+	data, _ := json.Marshal(errorBody{Error: msg})
+	resp.Items[i] = data
+	resp.Failed++
+	mBatchItemErrors.Add(1)
+}
+
+func degradedItem(res any) bool {
+	switch r := res.(type) {
+	case *DistanceResult:
+		return r.Degraded
+	case *NearestResult:
+		return r.Degraded
+	case *AssignResult:
+		return r.Degraded
+	}
+	return false
+}
+
+// batchPrune resolves the batch-level prune knobs and the snapshot's
+// memoized checkpoint plan ONCE for every item in the batch (single
+// queries re-resolve per request).
+func batchPrune(sn *Snapshot, req *BatchRequest) (*prune.Plan, float64, error) {
+	if req.Mode != ModePrune {
+		return nil, 0, nil
+	}
+	epsilon := DefaultPruneEpsilon
+	if req.Epsilon != nil {
+		if !(*req.Epsilon >= 0) {
+			return nil, 0, fmt.Errorf("bad epsilon %v (want a number ≥ 0)", *req.Epsilon)
+		}
+		epsilon = *req.Epsilon
+	}
+	delta := DefaultPruneDelta
+	if req.Delta != nil {
+		if !(*req.Delta > 0) || *req.Delta >= 1 {
+			return nil, 0, fmt.Errorf("bad delta %v (want a number in (0, 1))", *req.Delta)
+		}
+		delta = *req.Delta
+	}
+	plan, err := sn.planFor(delta)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan, epsilon, nil
+}
+
+// batchDistance answers POST /v1/batch/distance. Sketch-tier items are
+// evaluated through the lane-major batch kernel (one pass over the k
+// sketch lanes for all items together); exact-tier items run the same
+// per-item path as GET /v1/distance, including its mid-computation
+// sketch fallback.
+func (s *Server) batchDistance(ctx context.Context, sn *Snapshot, req *BatchRequest, resp *BatchResponse) error {
+	if req.Mode == ModePrune {
+		return fmt.Errorf("mode %q is not supported for distance queries (nearest and assign only)", ModePrune)
+	}
+	type ditem struct {
+		a, b         table.Rect
+		mode, reason string
+	}
+	items := make([]ditem, len(req.Items))
+	kernel := make([]int, 0, len(req.Items)) // indices routed to the batch kernel
+	for i, it := range req.Items {
+		if err := s.itemHook("distance", i); err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		a, err := ParseRect(it.A)
+		if err == nil {
+			items[i].b, err = ParseRect(it.B)
+		}
+		if err == nil {
+			items[i].a = a
+			if err = sn.validRect(a); err == nil {
+				err = sn.validRect(items[i].b)
+			}
+		}
+		if err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		// Per-item tier decision, same instant-by-instant policy as a
+		// stream of single queries.
+		items[i].mode, items[i].reason = s.tier(ctx, req.Mode)
+		b := items[i].b
+		if items[i].mode == ModeSketch && a.Rows == b.Rows && a.Cols == b.Cols {
+			kernel = append(kernel, i)
+		}
+	}
+
+	// One lane-major kernel pass over all sketch-tier items. If the
+	// kernel rejects the batch (e.g. an unsketchable rect), fall back
+	// to the per-item path so that item fails with exactly the message
+	// its single query would have produced.
+	if len(kernel) > 0 {
+		as := make([]table.Rect, len(kernel))
+		bs := make([]table.Rect, len(kernel))
+		for j, i := range kernel {
+			as[j], bs[j] = items[i].a, items[i].b
+		}
+		ds, err := sn.SketchDistanceBatch(as, bs, make([]float64, len(kernel)))
+		if err == nil {
+			for j, i := range kernel {
+				r := items[i].reason
+				resp.finishItem(i, &DistanceResult{
+					Distance: ds[j], Tier: TierSketch,
+					Degraded: r == ReasonLoad || r == ReasonDeadline, Reason: r,
+				}, nil)
+			}
+		}
+	}
+
+	for i := range items {
+		if resp.Items[i] != nil { // failed, or settled by the kernel
+			continue
+		}
+		res, err := s.itemDistance(ctx, sn, items[i].a, items[i].b, items[i].mode, items[i].reason)
+		resp.finishItem(i, res, err)
+	}
+	return nil
+}
+
+// batchNearest answers POST /v1/batch/nearest: the prune plan resolves
+// once, then every item runs the same path as GET /v1/nearest.
+func (s *Server) batchNearest(ctx context.Context, sn *Snapshot, req *BatchRequest, resp *BatchResponse) error {
+	plan, epsilon, err := batchPrune(sn, req)
+	if err != nil {
+		return err
+	}
+	for i, it := range req.Items {
+		if err := s.itemHook("nearest", i); err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		q, err := ParseRect(it.Q)
+		if err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		mode, reason := s.tier(ctx, req.Mode)
+		res, err := s.itemNearest(ctx, sn, q, plan, epsilon, mode, reason)
+		resp.finishItem(i, res, err)
+	}
+	return nil
+}
+
+// batchAssign answers POST /v1/batch/assign, mirroring batchNearest.
+func (s *Server) batchAssign(ctx context.Context, sn *Snapshot, req *BatchRequest, resp *BatchResponse) error {
+	plan, epsilon, err := batchPrune(sn, req)
+	if err != nil {
+		return err
+	}
+	for i, it := range req.Items {
+		if err := s.itemHook("assign", i); err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		q, err := ParseRect(it.Q)
+		if err != nil {
+			resp.finishItem(i, nil, err)
+			continue
+		}
+		mode, reason := s.tier(ctx, req.Mode)
+		res, err := s.itemAssign(ctx, sn, q, plan, epsilon, mode, reason)
+		resp.finishItem(i, res, err)
+	}
+	return nil
+}

@@ -105,7 +105,7 @@ func TestAdmit(t *testing.T) {
 	s.cfg.MaxInflight, s.cfg.MaxQueue = 1, 1
 	s.sem = make(chan struct{}, 1)
 
-	release, st := s.admit(context.Background())
+	release, st := s.admit(context.Background(), 1)
 	if st != admitOK {
 		t.Fatalf("first admit: %v, want admitOK", st)
 	}
@@ -117,7 +117,7 @@ func TestAdmit(t *testing.T) {
 	// until its deadline expires.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if _, st := s.admit(ctx); st != admitTimeout {
+	if _, st := s.admit(ctx, 1); st != admitTimeout {
 		t.Errorf("queued past deadline: %v, want admitTimeout", st)
 	}
 	if q := s.Queued(); q != 0 {
@@ -129,13 +129,13 @@ func TestAdmit(t *testing.T) {
 	pctx, pcancel := context.WithCancel(context.Background())
 	defer pcancel()
 	go func() {
-		_, st := s.admit(pctx)
+		_, st := s.admit(pctx, 1)
 		parked <- st
 	}()
 	for s.Queued() != 1 {
 		time.Sleep(100 * time.Microsecond)
 	}
-	if _, st := s.admit(context.Background()); st != admitShed {
+	if _, st := s.admit(context.Background(), 1); st != admitShed {
 		t.Errorf("arrival beyond queue: %v, want admitShed", st)
 	}
 

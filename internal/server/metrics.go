@@ -13,6 +13,10 @@ var (
 	mTimedOut = expvar.NewInt("tabmine_requests_timedout")
 	mReloads  = expvar.NewInt("tabmine_snapshot_reloads")
 
+	mBatchRequests   = expvar.NewInt("tabmine_batch_requests")
+	mBatchItems      = expvar.NewInt("tabmine_batch_items")
+	mBatchItemErrors = expvar.NewInt("tabmine_batch_item_errors")
+
 	mIngest         = expvar.NewInt("tabmine_ingest_records")
 	mIngestAccepted = expvar.NewInt("tabmine_ingest_accepted")
 	mIngestShed     = expvar.NewInt("tabmine_ingest_shed")
@@ -31,6 +35,10 @@ type Stats struct {
 	Degraded int64 // sketch-tier answers to auto queries (load/deadline)
 	TimedOut int64 // 504s (deadline expired queued or mid-computation)
 	Reloads  int64 // snapshot swaps
+
+	BatchRequests   int64 // POST /v1/batch/* requests received
+	BatchItems      int64 // items across admitted batches
+	BatchItemErrors int64 // items that answered with a per-item error
 
 	IngestRecords  int64 // POST /v1/ingest bodies received
 	IngestAccepted int64 // records durably appended
@@ -51,6 +59,10 @@ func ReadStats() Stats {
 		Degraded: mDegraded.Value(),
 		TimedOut: mTimedOut.Value(),
 		Reloads:  mReloads.Value(),
+
+		BatchRequests:   mBatchRequests.Value(),
+		BatchItems:      mBatchItems.Value(),
+		BatchItemErrors: mBatchItemErrors.Value(),
 
 		IngestRecords:  mIngest.Value(),
 		IngestAccepted: mIngestAccepted.Value(),

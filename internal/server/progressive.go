@@ -74,7 +74,9 @@ func (sn *Snapshot) ProgressiveNearest(ctx context.Context, q table.Rect, worker
 	if err := sn.checkTileSized(q); err != nil {
 		return 0, 0, prune.Stats{}, err
 	}
-	qsk, err := sn.pool.Sketch(q, nil)
+	bq := sn.getSketchBuf()
+	defer sn.putSketchBuf(bq)
+	qsk, err := sn.pool.Sketch(q, *bq)
 	if err != nil {
 		return 0, 0, prune.Stats{}, err
 	}
@@ -100,7 +102,9 @@ func (sn *Snapshot) ProgressiveAssign(ctx context.Context, q table.Rect, workers
 	if err := sn.checkAssign(q); err != nil {
 		return 0, 0, 0, prune.Stats{}, err
 	}
-	qsk, err := sn.pool.Sketch(q, nil)
+	bq := sn.getSketchBuf()
+	defer sn.putSketchBuf(bq)
+	qsk, err := sn.pool.Sketch(q, *bq)
 	if err != nil {
 		return 0, 0, 0, prune.Stats{}, err
 	}

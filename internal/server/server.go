@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/prune"
+	"repro/internal/table"
 )
 
 // Config tunes the serving policy. The zero value gets sensible
@@ -63,6 +64,12 @@ type Config struct {
 	// RetryAfter is the hint sent with 503 responses (default 1s;
 	// rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// MaxBatch bounds the number of items a single POST /v1/batch/*
+	// request may carry (default 256). A batch occupies one execution
+	// slot but weighs len(items) against the admission queue budget and
+	// the degradation occupancy, so one giant batch cannot starve
+	// single-query traffic undetected.
+	MaxBatch int
 	// Workers bounds the parallel fan-out of exact computations per
 	// request. 0 means all cores; answers are identical regardless.
 	Workers int
@@ -80,6 +87,11 @@ type Config struct {
 	// for deterministic saturation, FailNth for flaky requests); leave
 	// nil in production.
 	Hook func(op string) error
+	// ItemHook, when non-nil, runs before each batch item executes with
+	// the operation name and item index. A non-nil error fails that item
+	// only, not the batch. Tests wire it to faultinject gates to freeze
+	// a batch mid-flight deterministically; leave nil in production.
+	ItemHook func(op string, item int) error
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -106,6 +118,9 @@ func (c *Config) setDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
 	if c.ReadHeaderTimeout <= 0 {
 		c.ReadHeaderTimeout = 10 * time.Second
 	}
@@ -119,13 +134,18 @@ func (c *Config) setDefaults() {
 
 // Server serves sketch queries over one atomically swappable Snapshot.
 type Server struct {
-	cfg     Config
-	snap    atomic.Pointer[Snapshot]
-	sem     chan struct{} // execution slots, cap MaxInflight
-	queued  atomic.Int64
-	reloads atomic.Int64
-	mux     *http.ServeMux
-	hs      *http.Server
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+	sem  chan struct{} // execution slots, cap MaxInflight
+	// Admission pressure is tracked as weighted cost: a single query
+	// weighs 1, a batch weighs its item count. queuedCost is the summed
+	// weight waiting for a slot (bounded by MaxQueue), inflightCost the
+	// summed weight currently executing.
+	queuedCost   atomic.Int64
+	inflightCost atomic.Int64
+	reloads      atomic.Int64
+	mux          *http.ServeMux
+	hs           *http.Server
 }
 
 // New builds a Server answering from snap under cfg's policy.
@@ -142,6 +162,9 @@ func New(snap *Snapshot, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/distance", s.wrap("distance", s.opDistance))
 	s.mux.HandleFunc("/v1/nearest", s.wrap("nearest", s.opNearest))
 	s.mux.HandleFunc("/v1/assign", s.wrap("assign", s.opAssign))
+	s.mux.HandleFunc("/v1/batch/distance", s.handleBatch("distance", s.batchDistance))
+	s.mux.HandleFunc("/v1/batch/nearest", s.handleBatch("nearest", s.batchNearest))
+	s.mux.HandleFunc("/v1/batch/assign", s.handleBatch("assign", s.batchAssign))
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.hs = &http.Server{
 		Handler:           s.mux,
@@ -164,8 +187,9 @@ func (s *Server) Swap(snap *Snapshot) {
 	s.cfg.Logf("server: snapshot swapped (%d tiles, %d clusters)", snap.NumTiles(), snap.Clusters())
 }
 
-// Queued reports how many requests are waiting for an execution slot.
-func (s *Server) Queued() int { return int(s.queued.Load()) }
+// Queued reports the weighted cost (single query = 1, batch = item
+// count) waiting for an execution slot.
+func (s *Server) Queued() int { return int(s.queuedCost.Load()) }
 
 // Inflight reports how many requests hold execution slots.
 func (s *Server) Inflight() int { return len(s.sem) }
@@ -188,33 +212,70 @@ const (
 )
 
 // admit acquires an execution slot, waiting in the bounded queue when
-// all slots are busy. Returns a release function on admitOK.
-func (s *Server) admit(ctx context.Context) (func(), admitStatus) {
+// all slots are busy. weight is the admission cost of the request (1
+// for single queries, the item count for batches): the queue sheds
+// when its summed waiting weight would exceed MaxQueue, so a batch of
+// N passes admission once but costs what N queued singles would.
+// Returns a release function on admitOK.
+func (s *Server) admit(ctx context.Context, weight int) (func(), admitStatus) {
+	w := int64(weight)
+	release := func() {
+		s.inflightCost.Add(-w)
+		<-s.sem
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return s.release, admitOK
+		s.inflightCost.Add(w)
+		return release, admitOK
 	default:
 	}
-	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
-		s.queued.Add(-1)
+	if s.queuedCost.Add(w) > int64(s.cfg.MaxQueue) {
+		s.queuedCost.Add(-w)
 		return nil, admitShed
 	}
-	defer s.queued.Add(-1)
+	defer s.queuedCost.Add(-w)
 	select {
 	case s.sem <- struct{}{}:
-		return s.release, admitOK
+		s.inflightCost.Add(w)
+		return release, admitOK
 	case <-ctx.Done():
 		return nil, admitTimeout
 	}
 }
 
-func (s *Server) release() { <-s.sem }
-
 // occupancy is the admission-pressure fraction driving load-based
-// degradation.
+// degradation: summed executing + queued weight over total capacity.
+// For weight-1 traffic this is exactly (inflight + queued) / (slots +
+// queue); an inflight batch raises it by its item count, so concurrent
+// auto queries see the batch's true cost.
 func (s *Server) occupancy() float64 {
-	used := len(s.sem) + int(s.queued.Load())
+	used := s.inflightCost.Load() + s.queuedCost.Load()
 	return float64(used) / float64(s.cfg.MaxInflight+s.cfg.MaxQueue)
+}
+
+// tier resolves the effective (mode, reason) for one query at this
+// instant: auto queries degrade to the sketch tier under saturation or
+// a deadline too small for the exact path. Each batch item makes this
+// decision independently, so a batch degrades mid-flight exactly when
+// a stream of single queries would. Bumps the degraded counter.
+func (s *Server) tier(ctx context.Context, mode string) (string, string) {
+	reason := ""
+	if mode == ModeAuto {
+		// Tier choice: shed accuracy, not availability. Saturation
+		// or a deadline too small for the exact path both route the
+		// query to the O(k) sketch tier up front.
+		if s.occupancy() >= s.cfg.DegradeAt {
+			mode, reason = ModeSketch, ReasonLoad
+		} else if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.ExactBudget {
+			mode, reason = ModeSketch, ReasonDeadline
+		}
+	} else if mode == ModeSketch {
+		reason = ReasonRequested
+	}
+	if reason == ReasonLoad || reason == ReasonDeadline {
+		mDegraded.Add(1)
+	}
+	return mode, reason
 }
 
 // opFunc executes one query against a snapshot. mode is the validated
@@ -241,7 +302,7 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
-		release, status := s.admit(ctx)
+		release, status := s.admit(ctx, 1)
 		switch status {
 		case admitShed:
 			mShed.Add(1)
@@ -270,22 +331,7 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad mode %q", mode))
 			return
 		}
-		reason := ""
-		if mode == ModeAuto {
-			// Tier choice: shed accuracy, not availability. Saturation
-			// or a deadline too small for the exact path both route the
-			// query to the O(k) sketch tier up front.
-			if s.occupancy() >= s.cfg.DegradeAt {
-				mode, reason = ModeSketch, ReasonLoad
-			} else if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.ExactBudget {
-				mode, reason = ModeSketch, ReasonDeadline
-			}
-		} else if mode == ModeSketch {
-			reason = ReasonRequested
-		}
-		if reason == ReasonLoad || reason == ReasonDeadline {
-			mDegraded.Add(1)
-		}
+		mode, reason := s.tier(ctx, mode)
 
 		res, err := fn(ctx, s.snap.Load(), r.URL.Query(), mode, reason)
 		if err != nil {
@@ -383,6 +429,13 @@ func (s *Server) opDistance(ctx context.Context, sn *Snapshot, vals url.Values, 
 	if err != nil {
 		return nil, err
 	}
+	return s.itemDistance(ctx, sn, a, b, mode, reason)
+}
+
+// itemDistance executes one parsed distance query: the shared body of
+// GET /v1/distance and each POST /v1/batch/distance item, so a batch
+// item's bytes are the single query's bytes by construction.
+func (s *Server) itemDistance(ctx context.Context, sn *Snapshot, a, b table.Rect, mode, reason string) (any, error) {
 	if err := sn.validRect(a); err != nil {
 		return nil, err
 	}
@@ -415,11 +468,21 @@ func (s *Server) opNearest(ctx context.Context, sn *Snapshot, vals url.Values, m
 	if err != nil {
 		return nil, err
 	}
+	var plan *prune.Plan
+	epsilon := 0.0
 	if mode == ModePrune {
-		plan, epsilon, err := pruneParams(sn, vals)
-		if err != nil {
+		if plan, epsilon, err = pruneParams(sn, vals); err != nil {
 			return nil, err
 		}
+	}
+	return s.itemNearest(ctx, sn, q, plan, epsilon, mode, reason)
+}
+
+// itemNearest executes one parsed nearest query (shared by the single
+// and batch paths; plan/epsilon are only read in ModePrune, where the
+// batch handler resolves them once for all items).
+func (s *Server) itemNearest(ctx context.Context, sn *Snapshot, q table.Rect, plan *prune.Plan, epsilon float64, mode, reason string) (any, error) {
+	if mode == ModePrune {
 		idx, d, st, err := sn.ProgressiveNearest(ctx, q, s.cfg.Workers, plan, epsilon)
 		if err != nil {
 			return nil, err
@@ -429,6 +492,7 @@ func (s *Server) opNearest(ctx context.Context, sn *Snapshot, vals url.Values, m
 			Prune: pruneBody(st, MarginConfidence, epsilon, plan.Delta()),
 		}, nil
 	}
+	var err error
 	if mode == ModeExact || (mode == ModeAuto && reason == "") {
 		// The exact tier: mode=exact keeps the plain full scan (the
 		// reference the tests compare against); the auto tier runs the
@@ -474,11 +538,20 @@ func (s *Server) opAssign(ctx context.Context, sn *Snapshot, vals url.Values, mo
 	if err != nil {
 		return nil, err
 	}
+	var plan *prune.Plan
+	epsilon := 0.0
 	if mode == ModePrune {
-		plan, epsilon, err := pruneParams(sn, vals)
-		if err != nil {
+		if plan, epsilon, err = pruneParams(sn, vals); err != nil {
 			return nil, err
 		}
+	}
+	return s.itemAssign(ctx, sn, q, plan, epsilon, mode, reason)
+}
+
+// itemAssign executes one parsed assign query (shared by the single
+// and batch paths).
+func (s *Server) itemAssign(ctx context.Context, sn *Snapshot, q table.Rect, plan *prune.Plan, epsilon float64, mode, reason string) (any, error) {
+	if mode == ModePrune {
 		c, m, d, st, err := sn.ProgressiveAssign(ctx, q, s.cfg.Workers, plan, epsilon)
 		if err != nil {
 			return nil, err
@@ -488,6 +561,7 @@ func (s *Server) opAssign(ctx context.Context, sn *Snapshot, vals url.Values, mo
 			Prune: pruneBody(st, MarginConfidence, epsilon, plan.Delta()),
 		}, nil
 	}
+	var err error
 	if mode == ModeExact || (mode == ModeAuto && reason == "") {
 		var res *AssignResult
 		if mode == ModeAuto {
@@ -528,7 +602,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
 	writeJSON(w, http.StatusOK, &Health{
 		Status: "ok", Rows: sn.tb.Rows(), Cols: sn.tb.Cols(),
-		Tiles: sn.NumTiles(), Clusters: sn.Clusters(), Reloads: s.reloads.Load(),
+		Tiles: sn.NumTiles(), Clusters: sn.Clusters(),
+		TileRows: sn.TileRows(), TileCols: sn.TileCols(),
+		Reloads: s.reloads.Load(),
 	})
 }
 

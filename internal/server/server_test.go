@@ -51,7 +51,7 @@ func buildFixture() {
 	})
 }
 
-func snap(t *testing.T) *server.Snapshot {
+func snap(t testing.TB) *server.Snapshot {
 	t.Helper()
 	fixOnce.Do(buildFixture)
 	if fixErr != nil {

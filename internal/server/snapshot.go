@@ -58,7 +58,24 @@ type Snapshot struct {
 	compoundSlack float64
 	planMu        sync.Mutex
 	plans         map[float64]*prune.Plan
+
+	// skBuf recycles k-length query-sketch buffers across requests, so
+	// the sketch-tier and progressive paths allocate O(1) steady-state.
+	// Like the plan cache it never changes an answer: buffers are fully
+	// overwritten by Pool.Sketch before use and returned afterwards.
+	skBuf sync.Pool
 }
+
+// getSketchBuf hands out a k-capacity buffer for Pool.Sketch.
+func (sn *Snapshot) getSketchBuf() *[]float64 {
+	if bp, ok := sn.skBuf.Get().(*[]float64); ok {
+		return bp
+	}
+	buf := make([]float64, sn.pool.K())
+	return &buf
+}
+
+func (sn *Snapshot) putSketchBuf(bp *[]float64) { sn.skBuf.Put(bp) }
 
 // BuildSnapshot derives the serving state from a table and its sketch
 // pool. The pool must have been built over exactly tb (dimensions are
@@ -178,6 +195,12 @@ func (sn *Snapshot) NumTiles() int { return len(sn.tiles) }
 // Clusters returns the cluster count (0 when clustering is disabled).
 func (sn *Snapshot) Clusters() int { return sn.clusters }
 
+// TileRows returns the grid tile height (rows per tile).
+func (sn *Snapshot) TileRows() int { return sn.grid.TileRows() }
+
+// TileCols returns the grid tile width (columns per tile).
+func (sn *Snapshot) TileCols() int { return sn.grid.TileCols() }
+
 // validRect rejects rectangles outside the table.
 func (sn *Snapshot) validRect(r table.Rect) error {
 	if !r.In(sn.tb.Rows(), sn.tb.Cols()) {
@@ -211,9 +234,33 @@ func (sn *Snapshot) ExactDistance(ctx context.Context, a, b table.Rect, workers 
 }
 
 // SketchDistance answers the same query from the pool's compound dyadic
-// sketches in O(k) — Theorem 6's degraded tier.
+// sketches in O(k) — Theorem 6's degraded tier. Scratch comes from the
+// snapshot's buffer pool; the estimate is bit-identical to
+// Pool.Distance (same sketches, same estimator arithmetic).
 func (sn *Snapshot) SketchDistance(a, b table.Rect) (float64, error) {
-	return sn.pool.Distance(a, b)
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return 0, fmt.Errorf("core: distance between different-size rects %v and %v", a, b)
+	}
+	ba, bb := sn.getSketchBuf(), sn.getSketchBuf()
+	defer sn.putSketchBuf(ba)
+	defer sn.putSketchBuf(bb)
+	sa, err := sn.pool.Sketch(a, *ba)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := sn.pool.Sketch(b, *bb)
+	if err != nil {
+		return 0, err
+	}
+	return sn.sdist(sa, sb), nil
+}
+
+// SketchDistanceBatch answers n sketch-tier distance queries in one
+// lane-major estimator sweep (core.Pool.DistanceBatch): result i is
+// bit-identical to SketchDistance(as[i], bs[i]). Callers validate the
+// rects up front; the first invalid pair aborts the batch.
+func (sn *Snapshot) SketchDistanceBatch(as, bs []table.Rect, dst []float64) ([]float64, error) {
+	return sn.pool.DistanceBatch(as, bs, dst)
 }
 
 // ctxStride is how many O(k) sketch comparisons run between context
@@ -255,7 +302,9 @@ func (sn *Snapshot) SketchNearest(ctx context.Context, q table.Rect) (int, float
 	if err := sn.checkTileSized(q); err != nil {
 		return 0, 0, err
 	}
-	qsk, err := sn.pool.Sketch(q, nil)
+	bq := sn.getSketchBuf()
+	defer sn.putSketchBuf(bq)
+	qsk, err := sn.pool.Sketch(q, *bq)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -305,7 +354,9 @@ func (sn *Snapshot) SketchAssign(ctx context.Context, q table.Rect) (cluster, me
 	if err := sn.checkAssign(q); err != nil {
 		return 0, 0, 0, err
 	}
-	qsk, err := sn.pool.Sketch(q, nil)
+	bq := sn.getSketchBuf()
+	defer sn.putSketchBuf(bq)
+	qsk, err := sn.pool.Sketch(q, *bq)
 	if err != nil {
 		return 0, 0, 0, err
 	}
