@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke all
+.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke shard-demo all
 
 all: build test
 
@@ -100,6 +100,58 @@ replay-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	echo 'replay-smoke OK'
 
+# End-to-end chaos drill of sharded serving: three tabmine-serve shards
+# over column bands of one table, a tabmine-coord fanning queries out
+# over them, and a mixed-op replay through the coordinator. Then a
+# SIGKILL of the middle shard mid-fleet: replay answers must degrade to
+# honestly TAGGED partials (plus clean 503s for queries owned by the
+# dead band) — never silently wrong. Restarting the shard on its old
+# port must re-admit it through probation and the final replay must be
+# fully clean again.
+shard-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"; kill $$s0 $$s1 $$s2 $$cp 2>/dev/null || true' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/coord" ./cmd/tabmine-coord; \
+	$(GO) build -o "$$d/replay" ./cmd/tabmine-replay; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 32 -cols 96 -seed 11 -o "$$d/t.tabf"; \
+	shard() { exec "$$d/serve" -table "$$d/t.tabf" -cols "$$1" -addr "$$2" -addr-file "$$3" \
+		-k 64 -max-log 3 -tile-rows 8 -tile-cols 8 -clusters 3 -seed 5; }; \
+	shard 0:32  127.0.0.1:0 "$$d/a0" & s0=$$!; \
+	shard 32:64 127.0.0.1:0 "$$d/a1" & s1=$$!; \
+	shard 64:96 127.0.0.1:0 "$$d/a2" & s2=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/a0" ] && [ -s "$$d/a1" ] && [ -s "$$d/a2" ] && break; sleep 0.1; done; \
+	[ -s "$$d/a2" ] || { echo 'ERROR: shards never published their addresses'; exit 1; }; \
+	"$$d/coord" -shards "http://$$(cat "$$d/a0"),http://$$(cat "$$d/a1"),http://$$(cat "$$d/a2")" \
+		-addr 127.0.0.1:0 -addr-file "$$d/ac" -probe-interval 100ms 2>"$$d/coord.log" & cp=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/ac" ] && break; sleep 0.1; done; \
+	[ -s "$$d/ac" ] || { echo 'ERROR: coordinator never published its address'; exit 1; }; \
+	co="http://$$(cat "$$d/ac")"; \
+	for i in $$(seq 1 100); do curl -fsS "$$co/readyz" >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS "$$co/readyz" >/dev/null || { echo 'ERROR: fleet never became ready'; cat "$$d/coord.log"; exit 1; }; \
+	echo '--- mixed-op replay through a healthy fleet (must be clean):'; \
+	"$$d/replay" -server "$$co" -scenario internal/replay/testdata/mixed-coord.json -out "$$d/r1.json"; \
+	grep -q '"partial": 0,' "$$d/r1.json" || { echo 'ERROR: healthy fleet produced partial answers'; exit 1; }; \
+	if grep -q '"served": 0,' "$$d/r1.json"; then echo 'ERROR: healthy replay served nothing'; exit 1; fi; \
+	echo '--- SIGKILL the middle shard (cols 32..64), replay again:'; \
+	kill -9 $$s1; wait $$s1 2>/dev/null || true; \
+	sleep 1; \
+	"$$d/replay" -server "$$co" -scenario internal/replay/testdata/mixed-coord.json -out "$$d/r2.json"; \
+	grep -q '"partial": 0,' "$$d/r2.json" && { echo 'ERROR: no partial answers with a dead shard'; exit 1; }; \
+	grep -q 'healthy -> dead' "$$d/coord.log" || { echo 'ERROR: coordinator never ejected the dead shard'; cat "$$d/coord.log"; exit 1; }; \
+	echo '--- restart the shard on its old port, expect probation re-admission:'; \
+	shard 32:64 "$$(cat "$$d/a1")" "$$d/a1b" & s1=$$!; \
+	for i in $$(seq 1 200); do grep -q 'probation -> healthy' "$$d/coord.log" && break; sleep 0.1; done; \
+	grep -q 'dead -> probation' "$$d/coord.log" || { echo 'ERROR: no probation transition logged'; cat "$$d/coord.log"; exit 1; }; \
+	grep -q 'probation -> healthy' "$$d/coord.log" || { echo 'ERROR: no re-admission logged'; cat "$$d/coord.log"; exit 1; }; \
+	curl -fsS "$$co/readyz" >/dev/null || { echo 'ERROR: fleet never recovered'; cat "$$d/coord.log"; exit 1; }; \
+	echo '--- replay through the recovered fleet (must be clean again):'; \
+	"$$d/replay" -server "$$co" -scenario internal/replay/testdata/mixed-coord.json -out "$$d/r3.json"; \
+	grep -q '"partial": 0,' "$$d/r3.json" || { echo 'ERROR: recovered fleet still partial'; exit 1; }; \
+	if grep -q '"served": 0,' "$$d/r3.json"; then echo 'ERROR: recovered replay served nothing'; exit 1; fi; \
+	kill -TERM $$cp; wait $$cp; \
+	kill -TERM $$s0 $$s1 $$s2; wait $$s0 $$s1 $$s2; \
+	echo 'shard-demo OK'
+
 # Demonstrates the store's corruption handling end to end: build a
 # two-day store, flip bytes in one day file, watch fsck quarantine it
 # (exit 1), then verify the repaired store passes (exit 0).
@@ -166,7 +218,10 @@ ingest-demo:
 	for i in $$(seq 1 100); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
 	[ -s "$$d/addr" ] || { echo 'ERROR: server never published its address'; kill $$pid; exit 1; }; \
 	srv="http://$$(cat "$$d/addr")"; \
-	echo '--- health before the push (32 columns):'; \
+	echo '--- health before the push (32 columns; store mode boots not-ready,'; \
+	echo '    building its first snapshot in the background, so poll):'; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":32' && break; sleep 0.1; done; \
 	"$$d/query" -server "$$srv" -op health | grep -q '"cols":32'; \
 	echo '--- pushing one day over HTTP:'; \
 	"$$d/push" -addr "$$srv" -label d02 -random 64x16 -seed 9; \
@@ -182,6 +237,8 @@ ingest-demo:
 	for i in $$(seq 1 100); do [ -s "$$d/addr2" ] && break; sleep 0.1; done; \
 	[ -s "$$d/addr2" ] || { echo 'ERROR: restarted server never published its address'; kill $$pid; exit 1; }; \
 	srv="http://$$(cat "$$d/addr2")"; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":48' && break; sleep 0.1; done; \
 	"$$d/query" -server "$$srv" -op health | grep -q '"cols":48'; \
 	kill -TERM $$pid; wait $$pid; \
 	echo 'ingest-demo OK'

@@ -1,0 +1,126 @@
+// Command tabmine-coord runs the scatter-gather coordinator over a
+// fleet of column-sharded tabmine-serve processes: it learns the shard
+// map from each shard's /v1/shardinfo, fans /v1/distance, /v1/nearest
+// and /v1/assign (single and batch) out over the fleet, and merges the
+// per-shard answers under the shared O(k) sketch estimator.
+//
+//	tabmine-coord -shards http://127.0.0.1:7001,http://127.0.0.1:7002 \
+//	    -addr 127.0.0.1:8080
+//
+// Shards are actively probed and ejected after consecutive failures
+// (probe or passive), re-enter through probation, and stragglers are
+// hedged to a replica. When a shard is down, partial=allow (the
+// default) answers from the shards that remain, tagged with the
+// missing column ranges; -partial-deny (or per-query partial=deny)
+// turns any gap into a clean 503 + Retry-After.
+//
+// SIGINT/SIGTERM drains in-flight requests for up to -grace and exits
+// 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/runctx"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs (required; same URL twice = error, same column range twice = replicas)")
+
+		partialDeny = flag.Bool("partial-deny", false, "default to refusing partial answers (503) when a shard is down; per-query ?partial= overrides")
+
+		probeEvery   = flag.Duration("probe-interval", 250*time.Millisecond, "active health-probe period")
+		probeTimeout = flag.Duration("probe-timeout", 0, "one probe round trip (0 = probe interval)")
+		ejectAfter   = flag.Int("eject-after", 3, "consecutive failures before a healthy shard is ejected")
+		readmitAfter = flag.Int("readmit-after", 2, "consecutive probe successes from dead to probation, and again from probation to healthy")
+		hedgeDelay   = flag.Duration("hedge-delay", 30*time.Millisecond, "straggler wait before hedging a sub-query to a replica")
+		mergeReserve = flag.Duration("merge-reserve", 10*time.Millisecond, "request-budget slice kept back from sub-query deadlines for merging")
+
+		reqTimeout = flag.Duration("timeout", 0, "default per-request deadline (0 = 2s)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 30s)")
+		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "tabmine-coord: -shards is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "tabmine-coord: ", log.LstdFlags)
+
+	ctx, stop := runctx.WithSignals(0)
+	defer stop()
+
+	var endpoints []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			endpoints = append(endpoints, strings.TrimRight(u, "/"))
+		}
+	}
+	c, err := coord.New(coord.Config{
+		Endpoints:      endpoints,
+		PartialDeny:    *partialDeny,
+		ProbeInterval:  *probeEvery,
+		ProbeTimeout:   *probeTimeout,
+		EjectAfter:     *ejectAfter,
+		ReadmitAfter:   *readmitAfter,
+		HedgeDelay:     *hedgeDelay,
+		MergeReserve:   *mergeReserve,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           logger.Printf,
+	})
+	fatal(err)
+	if c.Ready() {
+		logger.Printf("fleet ready: %d shards", len(endpoints))
+	} else {
+		logger.Printf("fleet not (yet) complete: %d shards configured, probing", len(endpoints))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	fatal(err)
+	logger.Printf("listening on http://%s", l.Addr())
+	if *addrFile != "" {
+		fatal(os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644))
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err) // listener failure before any signal
+	case <-ctx.Done():
+	}
+	logger.Printf("draining (grace %v)", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := c.Shutdown(shCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	logger.Printf("drained cleanly")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tabmine-coord: %v\n", err)
+		os.Exit(1)
+	}
+}

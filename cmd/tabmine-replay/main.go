@@ -34,6 +34,9 @@ func main() {
 		batch       = flag.Int("batch", 1, "queries per request (1 = single GETs, >1 = POST /v1/batch/*)")
 		op          = flag.String("op", "nearest", "operation: nearest | assign | distance")
 		mode        = flag.String("mode", server.ModeAuto, "accuracy mode sent with every query")
+		target      = flag.String("target", "server", "wire dialect: server | coord (coord counts partial-answer tags)")
+		partial     = flag.String("partial", "", "partial=allow|deny parameter, -target coord only (empty = fleet default)")
+		scenario    = flag.String("scenario", "", "JSON scenario file; explicitly set flags override its fields")
 		seed        = flag.Uint64("seed", 1, "workload and schedule seed")
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (> 1)")
 		outstanding = flag.Int("max-outstanding", 64, "open-loop cap on in-flight requests")
@@ -49,8 +52,22 @@ func main() {
 
 	cfg := replay.Config{
 		BaseURL: *base, Queries: *n, Rate: *rate, Batch: *batch,
-		Op: *op, Mode: *mode, ZipfS: *zipfS, MaxOutstanding: *outstanding,
+		Op: *op, Mode: *mode, Target: *target, Partial: *partial,
+		ZipfS: *zipfS, MaxOutstanding: *outstanding,
 		TimeoutMS: *timeoutMS, Seed: *seed,
+	}
+	if *scenario != "" {
+		sc, err := replay.LoadScenario(*scenario)
+		fatal(err)
+		// Scenario first, then explicitly set flags back on top — so
+		// `-scenario drill.json -rate 900` reuses the drill at a
+		// different rate.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		sc.Apply(&cfg)
+		applySetFlags(&cfg, set,
+			*n, *rate, *batch, *op, *mode, *target, *partial,
+			*zipfS, *outstanding, *timeoutMS, *seed)
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
@@ -71,6 +88,47 @@ func main() {
 		return
 	}
 	os.Stdout.Write(enc)
+}
+
+// applySetFlags re-applies the flags the user typed on top of a loaded
+// scenario, so explicit flags always win over scenario fields.
+func applySetFlags(cfg *replay.Config, set map[string]bool,
+	n int, rate float64, batch int, op, mode, target, partial string,
+	zipfS float64, outstanding, timeoutMS int, seed uint64) {
+	if set["n"] {
+		cfg.Queries = n
+	}
+	if set["rate"] {
+		cfg.Rate = rate
+	}
+	if set["batch"] {
+		cfg.Batch = batch
+	}
+	if set["op"] {
+		cfg.Op = op
+		cfg.Ops = nil // an explicit single op overrides a scenario mixture
+	}
+	if set["mode"] {
+		cfg.Mode = mode
+	}
+	if set["target"] {
+		cfg.Target = target
+	}
+	if set["partial"] {
+		cfg.Partial = partial
+	}
+	if set["zipf-s"] {
+		cfg.ZipfS = zipfS
+	}
+	if set["max-outstanding"] {
+		cfg.MaxOutstanding = outstanding
+	}
+	if set["timeout-ms"] {
+		cfg.TimeoutMS = timeoutMS
+	}
+	if set["seed"] {
+		cfg.Seed = seed
+	}
 }
 
 func fatal(err error) {

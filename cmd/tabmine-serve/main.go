@@ -42,6 +42,7 @@ import (
 	"repro/internal/runctx"
 	"repro/internal/server"
 	"repro/internal/tabfile"
+	"repro/internal/table"
 	"repro/internal/tabstore"
 )
 
@@ -81,6 +82,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
 		in       = flag.String("table", "", "input table file (this or -store is required)")
+		colsFlag = flag.String("cols", "", "serve only columns [lo:hi) of the table as one shard of a column-sharded fleet (table mode; sketches stay merge-compatible across shards built with equal -p/-k/-seed)")
 		storeDir = flag.String("store", "", "serve a day-partitioned tabstore with streaming ingestion")
 		loadPool = flag.String("load-pool", "", "load a pool snapshot instead of building one")
 		p        = flag.Float64("p", 1, "Lp exponent in (0, 2]")
@@ -109,6 +111,10 @@ func main() {
 	if (*in == "") == (*storeDir == "") {
 		fmt.Fprintln(os.Stderr, "tabmine-serve: exactly one of -table and -store is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *colsFlag != "" && (*storeDir != "" || *loadPool != "") {
+		fmt.Fprintln(os.Stderr, "tabmine-serve: -cols requires -table and builds its own pool (no -store / -load-pool)")
 		os.Exit(2)
 	}
 	logger := log.New(os.Stderr, "tabmine-serve: ", log.LstdFlags)
@@ -152,16 +158,31 @@ func main() {
 			Snapshot: snapCfg, Publisher: latch, Logf: logger.Printf,
 		})
 		fatal(err)
-		fatal(ingester.Resume(ctx))
-		if snap = latch.Last(); snap == nil {
-			fatal(fmt.Errorf("no snapshot could be built over the store window (is it at least %dx%d?)",
-				*tileRows, *tileCols))
-		}
+		// Resume runs in the background AFTER the server binds: the
+		// process answers /healthz ("booting") and /readyz (503)
+		// immediately, so a coordinator probing this shard learns "alive
+		// but not ready" instead of connection-refused while the pool
+		// resume crunches. snap stays nil — server.New's boot state.
 	} else {
 		build = func(bctx context.Context) (*server.Snapshot, error) {
 			tb, err := tabfile.ReadFile(*in)
 			if err != nil {
 				return nil, err
+			}
+			baseCol := 0
+			if *colsFlag != "" {
+				lo, hi, err := parseColRange(*colsFlag, tb.Cols())
+				if err != nil {
+					return nil, err
+				}
+				// Shard mode: this process serves columns [lo, hi). The
+				// slice becomes the local table; BaseCol records where it
+				// sits in the global column space, which /v1/shardinfo
+				// reports to the coordinator. Sketch randomness is
+				// position-independent, so the slice's sketches are
+				// bit-identical to the full table's for the same cells.
+				tb = tb.Sub(table.Rect{R0: 0, C0: lo, Rows: tb.Rows(), Cols: hi - lo})
+				baseCol = lo
 			}
 			var pool *core.Pool
 			if *loadPool != "" {
@@ -174,6 +195,7 @@ func main() {
 				}
 				opts.Workers = *workers
 				opts.Context = bctx
+				opts.BaseCol = baseCol
 				pool, err = core.NewPool(tb, *p, *k, *seed, opts)
 			}
 			if err != nil {
@@ -184,10 +206,10 @@ func main() {
 		var err error
 		snap, err = build(ctx)
 		fatal(err)
+		logger.Printf("snapshot ready in %v: %dx%d table, %d tiles, %d clusters",
+			time.Since(t0).Round(time.Millisecond),
+			snap.Table().Rows(), snap.Table().Cols(), snap.NumTiles(), snap.Clusters())
 	}
-	logger.Printf("snapshot ready in %v: %dx%d table, %d tiles, %d clusters",
-		time.Since(t0).Round(time.Millisecond),
-		snap.Table().Rows(), snap.Table().Cols(), snap.NumTiles(), snap.Clusters())
 
 	cfg := server.Config{
 		MaxInflight: *maxInflight, MaxQueue: *maxQueue,
@@ -198,12 +220,27 @@ func main() {
 	if ingester != nil {
 		cfg.Ingestor = ingester
 	}
-	srv, err := server.New(snap, cfg)
+	srv, err := server.New(snap, cfg) // snap == nil in store mode: boot state
 	fatal(err)
 	if ingester != nil {
-		// From here on every maintained snapshot goes live atomically.
+		// Every maintained snapshot goes live atomically; the first one
+		// flips /readyz from 503 to 200.
 		latch.forwardTo(srv)
 		go func() {
+			if err := ingester.Resume(ctx); err != nil {
+				if errors.Is(err, context.Canceled) {
+					return
+				}
+				fatal(err)
+			}
+			first := latch.Last()
+			if first == nil {
+				fatal(fmt.Errorf("no snapshot could be built over the store window (is it at least %dx%d?)",
+					*tileRows, *tileCols))
+			}
+			logger.Printf("snapshot ready in %v: %dx%d table, %d tiles, %d clusters",
+				time.Since(t0).Round(time.Millisecond),
+				first.Table().Rows(), first.Table().Cols(), first.NumTiles(), first.Clusters())
 			if err := ingester.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 				logger.Printf("ingest loop: %v", err)
 			}
@@ -259,6 +296,18 @@ func main() {
 		fatal(err)
 	}
 	logger.Printf("drained cleanly")
+}
+
+// parseColRange parses a half-open column range "lo:hi" and validates
+// it against the table width.
+func parseColRange(s string, max int) (lo, hi int, err error) {
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("-cols %q: want lo:hi (half-open, e.g. 0:32)", s)
+	}
+	if lo < 0 || hi <= lo || hi > max {
+		return 0, 0, fmt.Errorf("-cols %q: need 0 <= lo < hi <= %d (table width)", s, max)
+	}
+	return lo, hi, nil
 }
 
 func fatal(err error) {

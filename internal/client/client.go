@@ -262,6 +262,21 @@ func (c *Client) doRetry(ctx context.Context, u string, body []byte, out any) er
 		ErrBudgetExhausted, c.cfg.MaxAttempts, waited, lastErr)
 }
 
+// StatusError is a non-2xx server answer. Callers that route around
+// failures (the scatter-gather coordinator) use the code to separate
+// endpoint trouble (5xx — strike the endpoint, try a replica) from
+// query trouble (4xx — the query is wrong everywhere, fail fast).
+// Retrieve it with errors.As; retry wrappers may bury it under
+// ErrBudgetExhausted or a Retry-After carrier.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Code, e.Msg)
+}
+
 // retryAfterError carries a server Retry-After hint through the loop.
 type retryAfterError struct {
 	err  error
@@ -296,7 +311,17 @@ func (c *Client) attempt(ctx context.Context, u string, reqBody []byte, out any)
 		return true, err
 	}
 	if resp.StatusCode == http.StatusOK {
-		return false, json.Unmarshal(body, out)
+		if err := json.Unmarshal(body, out); err != nil {
+			// A 200 whose body does not decode is a response damaged in
+			// transit — a connection reset mid-body or a truncating
+			// middlebox — not a malformed query: the server committed to
+			// an answer, so re-asking is safe and likely to succeed.
+			// (Classifying this as permanent was a real availability bug:
+			// one reset during the body failed queries that one retry
+			// would have served.)
+			return true, fmt.Errorf("client: undecodable 200 body (%d bytes): %w", len(body), err)
+		}
+		return false, nil
 	}
 	msg := string(body)
 	var eb struct {
@@ -305,7 +330,7 @@ func (c *Client) attempt(ctx context.Context, u string, reqBody []byte, out any)
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	herr := fmt.Errorf("client: server answered %d: %s", resp.StatusCode, msg)
+	herr := error(&StatusError{Code: resp.StatusCode, Msg: msg})
 	// Retryable failure classes: shedding (503), deadline misses (504),
 	// rate limiting (429), and other transient 5xx (the flaky-nth-request
 	// fault). 4xx means the query itself is wrong — retrying cannot help.

@@ -1,0 +1,123 @@
+// Regression tests for the mid-response-body failure classes: a 200
+// whose body dies or arrives damaged is a transport casualty, not a bad
+// query, and must retry. (The original classification treated an
+// undecodable 200 body as permanent, so one connection reset during the
+// response body failed a query that a single retry would have served.)
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// resetTransport wraps the body of the first response in a
+// faultinject.SlowReader that returns ErrInjected on its FailAt-th
+// Read — the client sees a connection die mid-body after delivering a
+// valid prefix. Later responses pass through untouched.
+type resetTransport struct {
+	base   http.RoundTripper
+	failAt int
+	calls  atomic.Int64
+}
+
+type readCloser struct {
+	io.Reader
+	io.Closer
+}
+
+func (rt *resetTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil || rt.calls.Add(1) > 1 {
+		return resp, err
+	}
+	resp.Body = &readCloser{
+		Reader: &faultinject.SlowReader{R: resp.Body, Chunk: 4, FailAt: rt.failAt},
+		Closer: resp.Body,
+	}
+	return resp, nil
+}
+
+func TestResetMidBodyRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	rt := &resetTransport{base: http.DefaultTransport, failAt: 3}
+	c, err := New(Config{
+		BaseURL: ts.URL,
+		HTTP:    &http.Client{Transport: rt},
+		Sleep:   instant, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if err != nil {
+		t.Fatalf("Distance after mid-body reset: %v", err)
+	}
+	if res.Distance != 42 {
+		t.Errorf("distance %v, want 42", res.Distance)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2 (reset attempt + retry)", got)
+	}
+}
+
+func TestTruncated200BodyRetries(t *testing.T) {
+	// A structurally valid HTTP response whose JSON was cut mid-object
+	// (truncating middlebox): ReadAll succeeds, Unmarshal fails. This is
+	// the exact path the permanent-classification bug lived on.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			io.WriteString(w, `{"distance": 4`)
+			return
+		}
+		okDistance(w)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, Sleep: instant, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if err != nil {
+		t.Fatalf("Distance after truncated 200 body: %v", err)
+	}
+	if res.Distance != 42 {
+		t.Errorf("distance %v, want 42", res.Distance)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2 (truncated attempt + retry)", got)
+	}
+}
+
+func TestPersistentlyDamagedBodyExhaustsBudget(t *testing.T) {
+	// Damage on every attempt must still terminate: the retryable
+	// classification ends in ErrBudgetExhausted, not an infinite loop or
+	// a silent wrong answer.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"distance": 4`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MaxAttempts: 3, Sleep: instant, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Distance(context.Background(), testRects.a, testRects.b, "")
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+// Shard sub-query surface: the client half of the scatter-gather
+// protocol (see internal/server's /v1/shardinfo and /v1/sketch*
+// endpoints). The coordinator calls these against individual shards;
+// all rectangles and indices are in the target shard's LOCAL
+// coordinates. The shared retry loop applies — shed sub-queries (503)
+// back off and re-ask within the caller's context deadline.
+
+// Ready queries /readyz: 200 once the server publishes its first
+// snapshot, 503 while booting. The 503 is retryable under the shared
+// policy, so a plain Ready call with a deadline doubles as "wait until
+// ready"; probers that want a single un-retried probe should use
+// MaxAttempts=1.
+func (c *Client) Ready(ctx context.Context) (*server.Ready, error) {
+	var res server.Ready
+	if err := c.do(ctx, "/readyz", url.Values{}, "", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ShardInfo queries /v1/shardinfo: the shard's self-description
+// (column placement, geometry, sketch parameters, snapshot generation).
+func (c *Client) ShardInfo(ctx context.Context) (*server.ShardInfo, error) {
+	var res server.ShardInfo
+	if err := c.do(ctx, "/v1/shardinfo", url.Values{}, "", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// subVals builds the query values shared by the sub-query endpoints:
+// timeout > 0 bounds the shard-side computation via timeout_ms (the
+// coordinator carves these from its request budget).
+func subVals(timeout time.Duration) url.Values {
+	vals := url.Values{}
+	if timeout > 0 {
+		ms := int(timeout / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		vals.Set("timeout_ms", strconv.Itoa(ms))
+	}
+	return vals
+}
+
+// Sketch queries GET /v1/sketch for the pool sketch of one rectangle in
+// the shard's local coordinates.
+func (c *Client) Sketch(ctx context.Context, rect table.Rect, timeout time.Duration) (*server.SketchResult, error) {
+	vals := subVals(timeout)
+	vals.Set("rect", server.FormatRect(rect))
+	var res server.SketchResult
+	if err := c.do(ctx, "/v1/sketch", vals, "", &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SketchNearest posts a query sketch to /v1/sketch/nearest: the shard's
+// best local tile under the O(k) estimator.
+func (c *Client) SketchNearest(ctx context.Context, req *server.SketchQueryRequest, timeout time.Duration) (*server.SketchBest, error) {
+	return c.postSketchQuery(ctx, "/v1/sketch/nearest", req, timeout)
+}
+
+// SketchAssign posts a query sketch to /v1/sketch/assign: the shard's
+// best local medoid under the O(k) estimator.
+func (c *Client) SketchAssign(ctx context.Context, req *server.SketchQueryRequest, timeout time.Duration) (*server.SketchBest, error) {
+	return c.postSketchQuery(ctx, "/v1/sketch/assign", req, timeout)
+}
+
+func (c *Client) postSketchQuery(ctx context.Context, path string, req *server.SketchQueryRequest, timeout time.Duration) (*server.SketchBest, error) {
+	if enc := subVals(timeout).Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var res server.SketchBest
+	if err := c.post(ctx, path, req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

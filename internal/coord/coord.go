@@ -1,0 +1,440 @@
+// Package coord is the scatter-gather layer over a fleet of
+// internal/server shards: one table sharded along the time (column)
+// axis, each shard serving its own column slice with its own sketch
+// pool. The coordinator owns the shard map — which global column range
+// lives where, learned and refreshed from /v1/shardinfo — fans queries
+// out over the shards' sketch sub-query endpoints, and merges the
+// answers:
+//
+//   - distance: per-shard rectangle sketches, differenced under the
+//     shared O(k) estimator (equal to an unsharded server for
+//     shard-contained rectangles up to float accumulation order,
+//     because pool sketch randomness is position-independent);
+//   - nearest: per-shard best tiles, merged by (distance, global tile
+//     index) — the within-shard lowest-local-index tie-break is also
+//     the lowest-global-index tie-break, so the merge reproduces the
+//     unsharded argmin;
+//   - assign: per-shard best medoids (clusterings are shard-local).
+//
+// Robustness is the point of the layer, not an afterthought: shards
+// are actively probed and ejected after consecutive failures, re-enter
+// through probation, stragglers are hedged to a replica, every
+// sub-query gets a deadline carved from the request budget, and when a
+// shard is unreachable the caller chooses — partial=allow answers from
+// the shards that remain, honestly tagged with the column ranges that
+// are missing; partial=deny turns any gap into a clean 503.
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// State is an endpoint's health as seen by the coordinator's prober.
+type State int
+
+const (
+	// StateHealthy endpoints receive traffic and are first choice.
+	StateHealthy State = iota
+	// StateProbation endpoints passed ReadmitAfter probes after death
+	// and receive traffic again, but one failure sends them straight
+	// back to dead (no EjectAfter grace).
+	StateProbation
+	// StateDead endpoints receive no traffic until they pass
+	// ReadmitAfter consecutive probes.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateProbation:
+		return "probation"
+	default:
+		return "dead"
+	}
+}
+
+// Config tunes the coordinator. Zero values get defaults from New.
+type Config struct {
+	// Endpoints are the shard base URLs (e.g. "http://127.0.0.1:7001").
+	// Two endpoints reporting the same column range form a replica
+	// group: load spreads across them and stragglers hedge to the next.
+	Endpoints []string
+
+	// PartialDeny makes partial answers opt-in instead of opt-out: by
+	// default (false) a query touching an unreachable shard still
+	// answers from the reachable ones, tagged partial; with PartialDeny
+	// (or per-query partial=deny) it fails with 503 + Retry-After.
+	PartialDeny bool
+
+	// ProbeInterval is the active health-probe period (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a healthy endpoint after this many consecutive
+	// failures, probe or passive (default 3).
+	EjectAfter int
+	// ReadmitAfter re-admits a dead endpoint into probation after this
+	// many consecutive probe successes, and promotes probation to
+	// healthy after as many more (default 2).
+	ReadmitAfter int
+
+	// HedgeDelay is how long a sub-query waits before hedging to the
+	// next endpoint of the same replica group (default 30ms). Hedging
+	// never fires within a single-endpoint group: re-sending the same
+	// query to the same struggling process doubles its load for zero
+	// information.
+	HedgeDelay time.Duration
+	// MergeReserve is the slice of the request budget kept back from
+	// sub-query deadlines for the coordinator's own merge work
+	// (default 10ms).
+	MergeReserve time.Duration
+
+	// DefaultTimeout/MaxTimeout mirror the server's request-budget
+	// policy (defaults 2s / 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint sent with 503 answers (default 1s).
+	RetryAfter time.Duration
+
+	// SubAttempts bounds the retrying client's tries per sub-query
+	// (default 2: one retry, then the hedging/failover machinery takes
+	// over — deep per-endpoint retry loops and cross-endpoint failover
+	// multiply into retry storms).
+	SubAttempts int
+
+	// OnStateChange observes endpoint health transitions (test hook;
+	// called from the prober goroutine and the serving path).
+	OnStateChange func(endpoint string, from, to State)
+	// Logf receives operational log lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 30 * time.Millisecond
+	}
+	if c.MergeReserve <= 0 {
+		c.MergeReserve = 10 * time.Millisecond
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SubAttempts <= 0 {
+		c.SubAttempts = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// shardRange is one column slice of the global table and the replica
+// group serving it.
+type shardRange struct {
+	baseCol, cols int
+	endpoints     []*endpoint // discovery order; selection rotates
+}
+
+func (r *shardRange) String() string {
+	return fmt.Sprintf("cols %d-%d", r.baseCol, r.baseCol+r.cols)
+}
+
+// contains reports whether the global column span [c0, c1) lies
+// entirely inside this range.
+func (r *shardRange) contains(c0, c1 int) bool {
+	return c0 >= r.baseCol && c1 <= r.baseCol+r.cols
+}
+
+// shardMap is the immutable routing state one request resolves once:
+// the global geometry, the merge-compatible sketch parameters, and the
+// column ranges in ascending order. The prober swaps whole maps
+// atomically, exactly like the server swaps snapshots.
+type shardMap struct {
+	rows, cols         int // global table dims
+	tileRows, tileCols int
+	clusters           int // min across shards; 0 disables /v1/assign
+
+	p         float64
+	k         int
+	seed      uint64
+	estimator core.Estimator
+	sdist     func(a, b []float64) float64 // O(k) estimator (core.NewSketchDist)
+
+	ranges []*shardRange // ascending baseCol
+	// complete: ranges tile [0, cols) contiguously from 0. Incomplete
+	// maps still serve queries that fit the known ranges; /readyz gates
+	// on completeness.
+	complete bool
+}
+
+func (m *shardMap) gridRows() int { return m.rows / m.tileRows }
+func (m *shardMap) gridCols() int { return m.cols / m.tileCols }
+
+// rangeIdxFor returns the index of the range containing global column
+// span [c0, c1), or -1 when no single range contains it.
+func (m *shardMap) rangeIdxFor(c0, c1 int) int {
+	for i, r := range m.ranges {
+		if r.contains(c0, c1) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Coordinator fans queries out over the shard fleet and merges the
+// answers. Safe for concurrent use.
+type Coordinator struct {
+	cfg       Config
+	endpoints []*endpoint
+	mp        atomic.Pointer[shardMap]
+	rr        atomic.Uint64 // round-robin seed for replica selection
+
+	probeHTTP *http.Client
+	stop      chan struct{}
+	stopped   chan struct{}
+
+	mux *http.ServeMux
+	hs  *http.Server
+}
+
+// New builds a Coordinator over cfg.Endpoints, runs one synchronous
+// probe round (so endpoints that are up serve immediately, without
+// waiting out a probe period), builds the initial shard map from
+// whatever answered, and starts the prober. An unreachable fleet is
+// not an error — the coordinator starts in the not-ready state and
+// admits shards as probes succeed.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("coord: at least one shard endpoint required")
+	}
+	cfg.setDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		probeHTTP: &http.Client{Timeout: cfg.ProbeTimeout},
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, u := range cfg.Endpoints {
+		if seen[u] {
+			return nil, fmt.Errorf("coord: duplicate endpoint %q", u)
+		}
+		seen[u] = true
+		cl, err := client.New(client.Config{
+			BaseURL:     u,
+			MaxAttempts: cfg.SubAttempts,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Budget:      cfg.MaxTimeout,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coord: endpoint %q: %w", u, err)
+		}
+		ep := &endpoint{url: u, cl: cl}
+		ep.state = StateDead // until the first probe says otherwise
+		c.endpoints = append(c.endpoints, ep)
+	}
+	c.probeRound(true)
+	c.buildMux()
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the prober. In-flight requests finish normally.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+		<-c.stopped
+	}
+}
+
+// Handler exposes the route table (for tests via httptest).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Serve accepts connections on l until Shutdown.
+func (c *Coordinator) Serve(l net.Listener) error { return c.hs.Serve(l) }
+
+// Shutdown drains the HTTP server and stops the prober.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	err := c.hs.Shutdown(ctx)
+	c.Close()
+	return err
+}
+
+// Map returns the current shard map (nil before any shard answered).
+func (c *Coordinator) currentMap() *shardMap { return c.mp.Load() }
+
+// Ready reports whether the shard map covers the whole table and every
+// range has at least one live endpoint.
+func (c *Coordinator) Ready() bool {
+	m := c.currentMap()
+	if m == nil || !m.complete {
+		return false
+	}
+	for _, r := range m.ranges {
+		if len(liveEndpoints(r, 0)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshMap rebuilds the shard map from the endpoints' latest
+// /v1/shardinfo answers. Endpoints that never answered are left out;
+// endpoints that answered once keep their last-known placement even
+// while dead, so a dead shard's column range is still KNOWN — that is
+// what lets a partial answer name exactly which columns are missing.
+// An inconsistent fleet (mismatched sketch parameters or geometry)
+// keeps the previous map and logs, rather than serving garbage merges.
+func (c *Coordinator) refreshMap() {
+	type placed struct {
+		ep   *endpoint
+		info shardInfoSnapshot
+	}
+	var ps []placed
+	for _, ep := range c.endpoints {
+		if info, ok := ep.lastInfo(); ok {
+			ps = append(ps, placed{ep, info})
+		}
+	}
+	if len(ps) == 0 {
+		return
+	}
+	first := ps[0].info
+	est, err := core.ParseEstimator(first.Estimator)
+	if err != nil {
+		c.cfg.Logf("coord: shard %s: %v", ps[0].ep.url, err)
+		return
+	}
+	m := &shardMap{
+		rows: first.Rows, tileRows: first.TileRows, tileCols: first.TileCols,
+		p: first.P, k: first.K, seed: first.Seed, estimator: est,
+		clusters: first.Clusters,
+	}
+	groups := map[[2]int]*shardRange{}
+	for _, p := range ps {
+		in := p.info
+		if in.Rows != m.rows || in.TileRows != m.tileRows || in.TileCols != m.tileCols ||
+			in.P != m.p || in.K != m.k || in.Seed != m.seed || in.Estimator != first.Estimator {
+			c.cfg.Logf("coord: shard %s is not merge-compatible with %s (rows/tile/p/k/seed/estimator mismatch); keeping previous map",
+				p.ep.url, ps[0].ep.url)
+			return
+		}
+		if in.BaseCol%m.tileCols != 0 {
+			c.cfg.Logf("coord: shard %s base_col %d is not tile-aligned (tile_cols %d); keeping previous map",
+				p.ep.url, in.BaseCol, m.tileCols)
+			return
+		}
+		if in.Clusters < m.clusters {
+			m.clusters = in.Clusters
+		}
+		key := [2]int{in.BaseCol, in.Cols}
+		rng := groups[key]
+		if rng == nil {
+			rng = &shardRange{baseCol: in.BaseCol, cols: in.Cols}
+			groups[key] = rng
+			m.ranges = append(m.ranges, rng)
+		}
+		rng.endpoints = append(rng.endpoints, p.ep)
+		if end := in.BaseCol + in.Cols; end > m.cols {
+			m.cols = end
+		}
+	}
+	sort.Slice(m.ranges, func(i, j int) bool { return m.ranges[i].baseCol < m.ranges[j].baseCol })
+	m.complete = true
+	next := 0
+	for _, r := range m.ranges {
+		if r.baseCol != next {
+			m.complete = false
+		}
+		next = r.baseCol + r.cols
+	}
+	if next != m.cols {
+		m.complete = false
+	}
+	m.sdist, err = core.NewSketchDist(m.p, m.k, m.estimator)
+	if err != nil {
+		c.cfg.Logf("coord: building estimator: %v", err)
+		return
+	}
+	old := c.mp.Load()
+	if old != nil && sameMap(old, m) {
+		// Same routing state: keep the old map (and its estimator
+		// scratch pool) instead of churning pointers every probe round.
+		return
+	}
+	c.mp.Store(m)
+	mMapReloads.Add(1)
+	c.cfg.Logf("coord: shard map: %d ranges over %dx%d cols, complete=%v",
+		len(m.ranges), m.rows, m.cols, m.complete)
+}
+
+func sameMap(a, b *shardMap) bool {
+	if a.rows != b.rows || a.cols != b.cols || a.clusters != b.clusters ||
+		a.complete != b.complete || len(a.ranges) != len(b.ranges) {
+		return false
+	}
+	for i, r := range a.ranges {
+		s := b.ranges[i]
+		if r.baseCol != s.baseCol || r.cols != s.cols || len(r.endpoints) != len(s.endpoints) {
+			return false
+		}
+		for j := range r.endpoints {
+			if r.endpoints[j] != s.endpoints[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// liveEndpoints returns the range's selectable endpoints: healthy ones
+// first (rotated by rot for load spread), probation ones after — they
+// take traffic, but only as fallback while a healthy replica exists.
+func liveEndpoints(r *shardRange, rot uint64) []*endpoint {
+	var healthy, probation []*endpoint
+	for _, ep := range r.endpoints {
+		switch ep.currentState() {
+		case StateHealthy:
+			healthy = append(healthy, ep)
+		case StateProbation:
+			probation = append(probation, ep)
+		}
+	}
+	if n := len(healthy); n > 1 {
+		k := int(rot % uint64(n))
+		healthy = append(healthy[k:len(healthy):len(healthy)], healthy[:k]...)
+	}
+	return append(healthy, probation...)
+}

@@ -1,0 +1,474 @@
+// Tests of the scatter-gather coordinator over a real in-process shard
+// fleet: a 32x96 table served as three 32-column shards plus one
+// unsharded reference server, all sharing (p, k, seed, estimator) so
+// the merge theorem applies and healthy-fleet answers must match the
+// single-process sketch tier: identical tiles, rects, tie-breaks, and
+// tags, with distances equal up to float accumulation order — each
+// shard runs its own FFT build, so the same mathematical dot product
+// lands within ~1e-12 relative of the reference, never beyond.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+const (
+	fleetRows = 32
+	fleetCols = 96
+	shardCols = 32
+	tileSide  = 8
+	fleetK    = 32
+	fleetSeed = 5
+)
+
+var fleetPoolOpts = core.PoolOptions{
+	MinLogRows: 2, MaxLogRows: 3, MinLogCols: 2, MaxLogCols: 3,
+}
+
+func buildSnap(t testing.TB, tb *table.Table, baseCol int) *server.Snapshot {
+	t.Helper()
+	opts := fleetPoolOpts
+	opts.BaseCol = baseCol
+	pool, err := core.NewPool(tb, 1, fleetK, fleetSeed, opts)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	sn, err := server.BuildSnapshot(context.Background(), tb, pool, server.SnapshotConfig{
+		TileRows: tileSide, TileCols: tileSide, Clusters: 3, Seed: fleetSeed,
+	})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	return sn
+}
+
+// shardProc is one shard server plus a fault switch: down answers every
+// request (probes included) with an injected 503, which is how a
+// crashed-but-port-bound or overloaded process looks to the
+// coordinator's health machinery.
+type shardProc struct {
+	ts   *httptest.Server
+	snap *server.Snapshot
+	down atomic.Bool
+}
+
+func (sp *shardProc) url() string { return sp.ts.URL }
+
+type fleet struct {
+	tb     *table.Table
+	refSn  *server.Snapshot
+	ref    *httptest.Server
+	shards []*shardProc
+	coord  *Coordinator
+	ts     *httptest.Server
+}
+
+// newFleet builds the three-shard fixture plus the unsharded reference
+// and a coordinator over the shards. replicate0 adds a second endpoint
+// serving shard 0's snapshot, forming a replica group.
+func newFleet(t *testing.T, cfg Config, replicate0 bool) *fleet {
+	t.Helper()
+	f := &fleet{tb: workload.Random(fleetRows, fleetCols, 100, 11)}
+
+	f.refSn = buildSnap(t, f.tb, 0)
+	refSrv, err := server.New(f.refSn, server.Config{})
+	if err != nil {
+		t.Fatalf("reference New: %v", err)
+	}
+	f.ref = httptest.NewServer(refSrv.Handler())
+	t.Cleanup(f.ref.Close)
+
+	serve := func(sn *server.Snapshot) *shardProc {
+		srv, err := server.New(sn, server.Config{})
+		if err != nil {
+			t.Fatalf("shard New: %v", err)
+		}
+		sp := &shardProc{snap: sn}
+		sp.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if sp.down.Load() {
+				http.Error(w, "injected shard failure", http.StatusServiceUnavailable)
+				return
+			}
+			srv.Handler().ServeHTTP(w, r)
+		}))
+		t.Cleanup(sp.ts.Close)
+		f.shards = append(f.shards, sp)
+		return sp
+	}
+	var urls []string
+	for i := 0; i < fleetCols/shardCols; i++ {
+		sub := f.tb.Sub(table.Rect{R0: 0, C0: i * shardCols, Rows: fleetRows, Cols: shardCols})
+		sn := buildSnap(t, sub, i*shardCols)
+		urls = append(urls, serve(sn).url())
+		if i == 0 && replicate0 {
+			urls = append(urls, serve(sn).url())
+		}
+	}
+
+	cfg.Endpoints = urls
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 20 * time.Millisecond
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = 20 * time.Millisecond
+	}
+	f.coord, err = New(cfg)
+	if err != nil {
+		t.Fatalf("coord.New: %v", err)
+	}
+	t.Cleanup(f.coord.Close)
+	f.ts = httptest.NewServer(f.coord.Handler())
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func httpGet(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func tileRect(idx int) table.Rect {
+	gridCols := fleetCols / tileSide
+	return table.Rect{
+		R0: (idx / gridCols) * tileSide, C0: (idx % gridCols) * tileSide,
+		Rows: tileSide, Cols: tileSide,
+	}
+}
+
+func TestFleetReady(t *testing.T) {
+	f := newFleet(t, Config{}, false)
+	if !f.coord.Ready() {
+		t.Fatal("coordinator not ready over a healthy fleet")
+	}
+	code, _, body := httpGet(t, f.ts.URL+"/readyz")
+	if code != 200 {
+		t.Fatalf("/readyz: %d (%s)", code, body)
+	}
+	var h server.Health
+	code, _, body = httpGet(t, f.ts.URL+"/healthz")
+	if code != 200 || json.Unmarshal(body, &h) != nil {
+		t.Fatalf("/healthz: %d (%s)", code, body)
+	}
+	if h.Status != "ok" || h.Rows != fleetRows || h.Cols != fleetCols ||
+		h.Tiles != 48 || h.TileRows != tileSide || h.TileCols != tileSide {
+		t.Errorf("global geometry: %+v", h)
+	}
+}
+
+// closeEnough tolerates the per-shard FFT builds' accumulation-order
+// noise and nothing else: a wrong merge is off by whole candidates,
+// not 1e-12 relative.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	return diff <= 1e-9*scale
+}
+
+// TestHealthyFleetIdentity is the merge-theorem check over the wire: a
+// healthy fleet's sketch-tier answers must match the unsharded
+// reference server — identical tiles, rects, and tags, distances equal
+// up to float accumulation order — for co-resident AND cross-shard
+// tile pairs, and nearest for every tile in the grid.
+func TestHealthyFleetIdentity(t *testing.T) {
+	f := newFleet(t, Config{}, false)
+
+	compareDistance := func(path string, exactBytes bool) {
+		t.Helper()
+		wc, _, want := httpGet(t, f.ref.URL+path)
+		gc, _, got := httpGet(t, f.ts.URL+path)
+		if wc != 200 || gc != 200 {
+			t.Fatalf("%s: ref %d coord %d (%s / %s)", path, wc, gc, want, got)
+		}
+		if exactBytes {
+			// The co-resident proxy relays the shard's body verbatim, and
+			// the exact tier sums the same cells in the same local order:
+			// full byte identity holds.
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s:\n  ref   %s\n  coord %s", path, want, got)
+			}
+			return
+		}
+		var w, g server.DistanceResult
+		if json.Unmarshal(want, &w) != nil || json.Unmarshal(got, &g) != nil {
+			t.Fatalf("%s: bad JSON (%s / %s)", path, want, got)
+		}
+		if w.Tier != g.Tier || w.Reason != g.Reason || w.Degraded != g.Degraded ||
+			!closeEnough(w.Distance, g.Distance) {
+			t.Errorf("%s:\n  ref   %s\n  coord %s", path, want, got)
+		}
+	}
+
+	// Distance over tile pairs that exercise same-shard and cross-shard
+	// routing (tiles 0..11 span all three shards on the first grid row).
+	pairs := [][2]int{{0, 1}, {0, 5}, {4, 9}, {8, 11}, {1, 46}, {13, 26}}
+	for _, p := range pairs {
+		a, b := tileRect(p[0]), tileRect(p[1])
+		compareDistance(fmt.Sprintf("/v1/distance?a=%s&b=%s&mode=sketch",
+			server.FormatRect(a), server.FormatRect(b)), false)
+	}
+	// Co-resident pairs proxy verbatim, so even mode=exact matches.
+	compareDistance(fmt.Sprintf("/v1/distance?a=%s&b=%s&mode=exact",
+		server.FormatRect(tileRect(0)), server.FormatRect(tileRect(13))), true)
+
+	for idx := 0; idx < 48; idx++ {
+		path := fmt.Sprintf("/v1/nearest?q=%s&mode=sketch", server.FormatRect(tileRect(idx)))
+		wc, _, want := httpGet(t, f.ref.URL+path)
+		gc, _, got := httpGet(t, f.ts.URL+path)
+		if wc != 200 || gc != 200 {
+			t.Fatalf("%s: ref %d coord %d (%s / %s)", path, wc, gc, want, got)
+		}
+		var w, g server.NearestResult
+		if json.Unmarshal(want, &w) != nil || json.Unmarshal(got, &g) != nil {
+			t.Fatalf("%s: bad JSON (%s / %s)", path, want, got)
+		}
+		if w.Tile != g.Tile || w.Rect != g.Rect || w.Tier != g.Tier ||
+			w.Reason != g.Reason || w.Degraded != g.Degraded ||
+			!closeEnough(w.Distance, g.Distance) {
+			t.Errorf("%s:\n  ref   %s\n  coord %s", path, want, got)
+		}
+	}
+}
+
+// TestAssignMerge: clusterings are shard-local, so assign merges to the
+// globally nearest medoid across the per-shard clusterings and reports
+// the owning shard — checked against a direct scan of the shard
+// snapshots.
+func TestAssignMerge(t *testing.T) {
+	f := newFleet(t, Config{}, false)
+	q := tileRect(17) // second grid row, shard 1
+	// The coordinator sketches q on its OWNER shard, so the direct scan
+	// must use the same sketch bits (the reference pool's sketch of the
+	// same cells differs in the last ulps — see the package comment).
+	local := table.Rect{R0: q.R0, C0: q.C0 - shardCols, Rows: q.Rows, Cols: q.Cols}
+	qsk, err := f.shards[1].snap.Pool().Sketch(local, nil)
+	if err != nil {
+		t.Fatalf("Sketch: %v", err)
+	}
+	bestShard, bestCluster, bestD := -1, -1, 0.0
+	for i, sp := range f.shards {
+		c, _, d, err := sp.snap.SketchAssignVec(context.Background(), qsk)
+		if err != nil {
+			t.Fatalf("shard %d SketchAssignVec: %v", i, err)
+		}
+		if bestShard < 0 || d < bestD {
+			bestShard, bestCluster, bestD = i, c, d
+		}
+	}
+
+	var res AssignResult
+	code, _, body := httpGet(t, f.ts.URL+fmt.Sprintf("/v1/assign?q=%s&mode=sketch", server.FormatRect(q)))
+	if code != 200 || json.Unmarshal(body, &res) != nil {
+		t.Fatalf("/v1/assign: %d (%s)", code, body)
+	}
+	if res.Shard != bestShard || res.Cluster != bestCluster || res.Distance != bestD {
+		t.Errorf("assign merge (shard %d, cluster %d, %v) != direct scan (shard %d, cluster %d, %v)",
+			res.Shard, res.Cluster, res.Distance, bestShard, bestCluster, bestD)
+	}
+	if res.Partial {
+		t.Errorf("healthy fleet answered partial: %s", body)
+	}
+}
+
+// TestSpanningDistance: a rectangle crossing a shard boundary answers
+// on the sketch tier via chunk-sum merging — deterministically.
+func TestSpanningDistance(t *testing.T) {
+	f := newFleet(t, Config{}, false)
+	a := table.Rect{R0: 0, C0: 24, Rows: 8, Cols: 16}  // spans shards 0|1
+	b := table.Rect{R0: 16, C0: 56, Rows: 8, Cols: 16} // spans shards 1|2
+	path := fmt.Sprintf("/v1/distance?a=%s&b=%s", server.FormatRect(a), server.FormatRect(b))
+
+	var first DistanceResult
+	code, _, body := httpGet(t, f.ts.URL+path)
+	if code != 200 || json.Unmarshal(body, &first) != nil {
+		t.Fatalf("spanning distance: %d (%s)", code, body)
+	}
+	if first.Tier != server.TierSketch || first.Reason != ReasonCrossShard || first.Partial {
+		t.Errorf("spanning distance tags: %s", body)
+	}
+	if !(first.Distance > 0) {
+		t.Errorf("spanning distance %v not positive", first.Distance)
+	}
+	_, _, again := httpGet(t, f.ts.URL+path)
+	if !bytes.Equal(body, again) {
+		t.Errorf("spanning distance not deterministic:\n  %s\n  %s", body, again)
+	}
+}
+
+func TestCrossShardExactRejected(t *testing.T) {
+	f := newFleet(t, Config{}, false)
+	checks := []string{
+		fmt.Sprintf("/v1/distance?a=%s&b=%s&mode=exact",
+			server.FormatRect(tileRect(0)), server.FormatRect(tileRect(5))),
+		fmt.Sprintf("/v1/nearest?q=%s&mode=exact", server.FormatRect(tileRect(0))),
+		fmt.Sprintf("/v1/nearest?q=%s&mode=prune", server.FormatRect(tileRect(0))),
+		fmt.Sprintf("/v1/nearest?q=%s&partial=sometimes", server.FormatRect(tileRect(0))),
+		"/v1/distance?a=0,0,8,16&b=0,80,8,16&mode=exact", // spans shards
+	}
+	for _, path := range checks {
+		code, _, body := httpGet(t, f.ts.URL+path)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", path, code, body)
+		}
+	}
+}
+
+// TestStateMachine drives the health transitions directly: ejection
+// after EjectAfter consecutive failures, re-admission through probation
+// after ReadmitAfter probe successes twice over, and probation's
+// one-strike rule.
+func TestStateMachine(t *testing.T) {
+	cfg := Config{EjectAfter: 3, ReadmitAfter: 2}
+	cfg.setDefaults()
+	var trans []string
+	cfg.OnStateChange = func(_ string, from, to State) {
+		trans = append(trans, fmt.Sprintf("%v->%v", from, to))
+	}
+	c := &Coordinator{cfg: cfg}
+	ep := &endpoint{url: "test", state: StateHealthy}
+
+	c.noteFailure(ep, false)
+	c.noteFailure(ep, false)
+	c.noteProbeOK(ep, false) // success resets the failure streak
+	c.noteFailure(ep, false)
+	c.noteFailure(ep, false)
+	if ep.currentState() != StateHealthy {
+		t.Fatalf("ejected before EjectAfter consecutive failures: %v", ep.currentState())
+	}
+	c.noteFailure(ep, false)
+	if ep.currentState() != StateDead {
+		t.Fatalf("not ejected after %d consecutive failures: %v", cfg.EjectAfter, ep.currentState())
+	}
+
+	c.noteProbeOK(ep, false)
+	c.noteFailure(ep, false) // failure resets the ok streak
+	c.noteProbeOK(ep, false)
+	if ep.currentState() != StateDead {
+		t.Fatalf("readmitted too early: %v", ep.currentState())
+	}
+	c.noteProbeOK(ep, false)
+	if ep.currentState() != StateProbation {
+		t.Fatalf("not in probation after %d probe successes: %v", cfg.ReadmitAfter, ep.currentState())
+	}
+	c.noteFailure(ep, false) // probation: one strike
+	if ep.currentState() != StateDead {
+		t.Fatalf("probation survived a failure: %v", ep.currentState())
+	}
+	c.noteProbeOK(ep, false)
+	c.noteProbeOK(ep, false)
+	c.noteProbeOK(ep, false)
+	c.noteProbeOK(ep, false)
+	if ep.currentState() != StateHealthy {
+		t.Fatalf("not healthy after probation cleared: %v", ep.currentState())
+	}
+	want := []string{"healthy->dead", "dead->probation", "probation->dead", "dead->probation", "probation->healthy"}
+	if fmt.Sprint(trans) != fmt.Sprint(want) {
+		t.Errorf("transitions %v, want %v", trans, want)
+	}
+}
+
+// TestRefreshMapValidation: a fleet whose shards disagree on sketch
+// parameters or report tile-misaligned placement must never produce a
+// merging map.
+func TestRefreshMapValidation(t *testing.T) {
+	mk := func(base, cols int, seed uint64, tileCols int) *endpoint {
+		ep := &endpoint{}
+		ep.setInfo(&server.ShardInfo{
+			Ready: true, BaseCol: base, Rows: 32, Cols: cols,
+			TileRows: 8, TileCols: tileCols, Clusters: 3,
+			P: 1, K: 32, Seed: seed, Estimator: "median",
+		})
+		return ep
+	}
+	cfg := Config{}
+	cfg.setDefaults()
+
+	c := &Coordinator{cfg: cfg}
+	c.endpoints = []*endpoint{mk(0, 32, 5, 8), mk(32, 32, 7, 8)} // seed mismatch
+	c.refreshMap()
+	if c.currentMap() != nil {
+		t.Error("seed-mismatched fleet produced a map")
+	}
+
+	c = &Coordinator{cfg: cfg}
+	c.endpoints = []*endpoint{mk(0, 32, 5, 8), mk(20, 32, 5, 8)} // 20 not tile-aligned
+	c.refreshMap()
+	if c.currentMap() != nil {
+		t.Error("tile-misaligned fleet produced a map")
+	}
+
+	c = &Coordinator{cfg: cfg}
+	c.endpoints = []*endpoint{mk(0, 32, 5, 8), mk(64, 32, 5, 8)} // gap at 32..64
+	c.refreshMap()
+	m := c.currentMap()
+	if m == nil || m.complete {
+		t.Errorf("gapped fleet: map %+v, want incomplete", m)
+	}
+
+	c = &Coordinator{cfg: cfg}
+	c.endpoints = []*endpoint{mk(0, 32, 5, 8), mk(32, 32, 5, 8), mk(32, 32, 5, 8)}
+	c.refreshMap()
+	m = c.currentMap()
+	if m == nil || !m.complete || len(m.ranges) != 2 || len(m.ranges[1].endpoints) != 2 {
+		t.Fatalf("replicated fleet map: %+v", m)
+	}
+}
+
+func TestLiveEndpointOrdering(t *testing.T) {
+	h1 := &endpoint{url: "h1", state: StateHealthy}
+	h2 := &endpoint{url: "h2", state: StateHealthy}
+	pr := &endpoint{url: "p", state: StateProbation}
+	dd := &endpoint{url: "d", state: StateDead}
+	rng := &shardRange{endpoints: []*endpoint{h1, dd, h2, pr}}
+
+	got := liveEndpoints(rng, 0)
+	if len(got) != 3 || got[0] != h1 || got[1] != h2 || got[2] != pr {
+		t.Errorf("rot 0: %v", names(got))
+	}
+	got = liveEndpoints(rng, 1)
+	if len(got) != 3 || got[0] != h2 || got[1] != h1 || got[2] != pr {
+		t.Errorf("rot 1: %v (probation must stay last)", names(got))
+	}
+}
+
+func names(eps []*endpoint) []string {
+	var out []string
+	for _, ep := range eps {
+		out = append(out, ep.url)
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// HTTP surface: the same /v1/* routes as a single server, so clients
+// (and tabmine-replay) point at a coordinator without changes. New
+// query parameter: partial=allow|deny overrides the fleet default for
+// one request.
+
+func (c *Coordinator) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	mux.HandleFunc("/readyz", c.handleReadyz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/v1/distance", c.wrap(c.itemDistance))
+	mux.HandleFunc("/v1/nearest", c.wrap(c.itemNearest))
+	mux.HandleFunc("/v1/assign", c.wrap(c.itemAssign))
+	mux.HandleFunc("/v1/batch/distance", c.handleBatch(c.itemDistance))
+	mux.HandleFunc("/v1/batch/nearest", c.handleBatch(c.itemNearest))
+	mux.HandleFunc("/v1/batch/assign", c.handleBatch(c.itemAssign))
+	c.mux = mux
+	c.hs = &http.Server{Handler: mux}
+}
+
+// itemFunc answers one query item (single or batch member) against a
+// consistent shard map.
+type itemFunc func(ctx context.Context, m *shardMap, it server.BatchItem, mode string, allowPartial bool) (any, error)
+
+func (c *Coordinator) itemDistance(ctx context.Context, m *shardMap, it server.BatchItem, mode string, allowPartial bool) (any, error) {
+	a, err := server.ParseRect(it.A)
+	if err != nil {
+		return nil, err
+	}
+	b, err := server.ParseRect(it.B)
+	if err != nil {
+		return nil, err
+	}
+	return c.opDistance(ctx, m, a, b, mode, allowPartial)
+}
+
+func (c *Coordinator) itemNearest(ctx context.Context, m *shardMap, it server.BatchItem, mode string, allowPartial bool) (any, error) {
+	q, err := server.ParseRect(it.Q)
+	if err != nil {
+		return nil, err
+	}
+	return c.opNearest(ctx, m, q, mode, allowPartial)
+}
+
+func (c *Coordinator) itemAssign(ctx context.Context, m *shardMap, it server.BatchItem, mode string, allowPartial bool) (any, error) {
+	q, err := server.ParseRect(it.Q)
+	if err != nil {
+		return nil, err
+	}
+	return c.opAssign(ctx, m, q, mode, allowPartial)
+}
+
+// parseMode validates the mode parameter. mode=prune is shard-local
+// state (per-shard checkpoint plans over per-shard tile sets) and is
+// rejected here rather than half-answered.
+func parseMode(vals url.Values) (string, error) {
+	mode := vals.Get("mode")
+	if mode == "" {
+		mode = server.ModeAuto
+	}
+	switch mode {
+	case server.ModeAuto, server.ModeExact, server.ModeSketch:
+		return mode, nil
+	case server.ModePrune:
+		return "", fmt.Errorf("mode=prune is shard-local; query a shard directly")
+	}
+	return "", fmt.Errorf("bad mode %q", mode)
+}
+
+// parsePartial resolves the per-request partial knob against the
+// configured default.
+func (c *Coordinator) parsePartial(vals url.Values) (allow bool, err error) {
+	switch vals.Get("partial") {
+	case "":
+		return !c.cfg.PartialDeny, nil
+	case "allow":
+		return true, nil
+	case "deny":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad partial %q (want allow or deny)", vals.Get("partial"))
+}
+
+func (c *Coordinator) requestTimeout(vals url.Values) (time.Duration, error) {
+	timeout := c.cfg.DefaultTimeout
+	if tms := vals.Get("timeout_ms"); tms != "" {
+		v, err := strconv.Atoi(tms)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("bad timeout_ms %q", tms)
+		}
+		timeout = min(time.Duration(v)*time.Millisecond, c.cfg.MaxTimeout)
+	}
+	return timeout, nil
+}
+
+func (c *Coordinator) wrap(fn itemFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(1)
+		m := c.currentMap()
+		if m == nil {
+			c.writeUnavailable(w, "no shard has reported yet, retry later")
+			return
+		}
+		vals := r.URL.Query()
+		mode, err := parseMode(vals)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		allowPartial, err := c.parsePartial(vals)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		timeout, err := c.requestTimeout(vals)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		res, err := fn(ctx, m, server.BatchItem{
+			A: vals.Get("a"), B: vals.Get("b"), Q: vals.Get("q"),
+		}, mode, allowPartial)
+		if err != nil {
+			c.writeQueryError(w, err)
+			return
+		}
+		mServed.Add(1)
+		if isPartial(res) {
+			mPartial.Add(1)
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func isPartial(res any) bool {
+	switch r := res.(type) {
+	case *DistanceResult:
+		return r.Partial
+	case *NearestResult:
+		return r.Partial
+	case *AssignResult:
+		return r.Partial
+	}
+	return false
+}
+
+func isDegraded(res any) bool {
+	switch r := res.(type) {
+	case *DistanceResult:
+		return r.Degraded
+	case *NearestResult:
+		return r.Degraded
+	case *AssignResult:
+		return r.Degraded
+	}
+	return false
+}
+
+// writeQueryError maps merge-layer errors onto the wire: fleet
+// unavailability is 503 + Retry-After (retry can succeed), shard 4xx
+// answers pass through with their original status, deadline expiry is
+// 504, anything else is the caller's 400.
+func (c *Coordinator) writeQueryError(w http.ResponseWriter, err error) {
+	var unav *errUnavailable
+	var noEp *errNoEndpoints
+	var nf *errNotFound
+	var se *client.StatusError
+	switch {
+	case errors.As(err, &unav), errors.As(err, &noEp):
+		c.writeUnavailable(w, err.Error())
+	case errors.As(err, &nf):
+		writeError(w, http.StatusNotFound, nf.msg)
+	case errors.As(err, &se):
+		writeError(w, se.Code, se.Msg)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "deadline expired mid-merge")
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (c *Coordinator) writeUnavailable(w http.ResponseWriter, msg string) {
+	mUnavailable.Add(1)
+	secs := int((c.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// maxBatchBody mirrors the server's batch body bound.
+const maxBatchBody = 8 << 20
+
+// handleBatch answers POST /v1/batch/*: the same wire contract as the
+// server's batch endpoints — items answer independently, one bad item
+// never fails its batch — with each item running the full
+// scatter-gather merge. Items run sequentially: each already fans out
+// over every shard, so batch-level parallelism would multiply fleet
+// load without improving tail latency.
+func (c *Coordinator) handleBatch(fn itemFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Add(1)
+		m := c.currentMap()
+		if m == nil {
+			c.writeUnavailable(w, "no shard has reported yet, retry later")
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "batch endpoints accept POST only")
+			return
+		}
+		var req server.BatchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+			return
+		}
+		if len(req.Items) == 0 {
+			writeError(w, http.StatusBadRequest, "empty batch")
+			return
+		}
+		vals := r.URL.Query()
+		if req.Mode != "" {
+			vals.Set("mode", req.Mode)
+		}
+		mode, err := parseMode(vals)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		allowPartial, err := c.parsePartial(vals)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		timeout := c.cfg.DefaultTimeout
+		if req.TimeoutMS < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout_ms %d", req.TimeoutMS))
+			return
+		}
+		if req.TimeoutMS > 0 {
+			timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, c.cfg.MaxTimeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		resp := &server.BatchResponse{Items: make([]json.RawMessage, len(req.Items))}
+		for i, it := range req.Items {
+			res, err := fn(ctx, m, it, mode, allowPartial)
+			if err != nil {
+				msg := err.Error()
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					msg = "deadline expired mid-merge"
+				}
+				data, _ := json.Marshal(struct {
+					Error string `json:"error"`
+				}{Error: msg})
+				resp.Items[i] = data
+				resp.Failed++
+				continue
+			}
+			data, merr := json.Marshal(res)
+			if merr != nil {
+				data, _ = json.Marshal(struct {
+					Error string `json:"error"`
+				}{Error: merr.Error()})
+				resp.Items[i] = data
+				resp.Failed++
+				continue
+			}
+			resp.Items[i] = data
+			resp.Served++
+			mServed.Add(1)
+			if isDegraded(res) {
+				resp.Degraded++
+			}
+			if isPartial(res) {
+				mPartial.Add(1)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleHealthz reports the GLOBAL geometry — the whole table's
+// dimensions and tile grid — so load generators aimed at a coordinator
+// synthesize queries over the full column space exactly as they would
+// against an unsharded server.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := c.currentMap()
+	if m == nil {
+		writeJSON(w, http.StatusOK, &server.Health{Status: "booting"})
+		return
+	}
+	status := "ok"
+	if !c.Ready() {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, &server.Health{
+		Status: status, Rows: m.rows, Cols: m.cols,
+		Tiles: m.gridRows() * m.gridCols(), Clusters: m.clusters,
+		TileRows: m.tileRows, TileCols: m.tileCols,
+		Reloads: mMapReloads.Value(),
+	})
+}
+
+// handleReadyz gates routing: 200 only when the shard map covers the
+// whole table and every range has a live endpoint.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !c.Ready() {
+		secs := int((c.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusServiceUnavailable, &server.Ready{Status: "booting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, &server.Ready{Status: "ready"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	data, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,53 @@
+package coord
+
+import "expvar"
+
+// Process-global coordinator counters on /debug/vars, following the
+// tabmine_* naming of internal/server. The per-shard maps are keyed by
+// endpoint base URL, so one glance at /debug/vars shows which shard is
+// absorbing hedges or striking out.
+var (
+	mRequests    = expvar.NewInt("tabmine_coord_requests_total")
+	mServed      = expvar.NewInt("tabmine_coord_requests_served")
+	mUnavailable = expvar.NewInt("tabmine_coord_requests_unavailable") // 503s
+	mPartial     = expvar.NewInt("tabmine_coord_partial_answers")
+
+	mShardRequests = expvar.NewMap("tabmine_coord_shard_requests")
+	mShardFailures = expvar.NewMap("tabmine_coord_shard_failures")
+
+	mEjections  = expvar.NewInt("tabmine_coord_ejections")
+	mReadmits   = expvar.NewInt("tabmine_coord_readmissions")
+	mHedges     = expvar.NewInt("tabmine_coord_hedges")
+	mHedgeWins  = expvar.NewInt("tabmine_coord_hedge_wins")
+	mMapReloads = expvar.NewInt("tabmine_coord_shardmap_reloads")
+)
+
+// Stats is a point-in-time read of the coordinator counters.
+type Stats struct {
+	Requests    int64 // queries received
+	Served      int64 // 2xx answers (partial included)
+	Unavailable int64 // 503s (no live endpoints / denied partials)
+	Partial     int64 // partial-tagged 2xx answers
+
+	Ejections    int64 // healthy/probation -> dead transitions
+	Readmissions int64 // dead -> probation transitions
+	Hedges       int64 // hedged sub-queries fired
+	HedgeWins    int64 // hedges that produced the winning answer
+	MapReloads   int64 // shard-map rebuilds that changed the map
+}
+
+// ReadStats samples the process-global counters.
+func ReadStats() Stats {
+	return Stats{
+		Requests:    mRequests.Value(),
+		Served:      mServed.Value(),
+		Unavailable: mUnavailable.Value(),
+		Partial:     mPartial.Value(),
+
+		Ejections:    mEjections.Value(),
+		Readmissions: mReadmits.Value(),
+		Hedges:       mHedges.Value(),
+		HedgeWins:    mHedgeWins.Value(),
+		MapReloads:   mMapReloads.Value(),
+	}
+}

@@ -1,0 +1,348 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// Endpoint health: active probing with consecutive-failure ejection and
+// probation re-entry.
+//
+//	healthy --EjectAfter consecutive failures--> dead
+//	dead ----ReadmitAfter consecutive probe OKs--> probation
+//	probation --ReadmitAfter more probe OKs--> healthy
+//	probation --any failure--> dead
+//
+// Failures are probe failures AND passive sub-query failures from the
+// serving path (a shard that answers probes but times out real queries
+// must still get ejected). Only probes count toward re-admission: a
+// dead endpoint receives no traffic, so probes are its only way back.
+
+// shardInfoSnapshot is the part of a shard's self-description the
+// coordinator keeps per endpoint (flattened from server.ShardInfo).
+type shardInfoSnapshot struct {
+	BaseCol, Cols, Rows          int
+	TileRows, TileCols, Clusters int
+	P                            float64
+	K                            int
+	Seed                         uint64
+	Estimator                    string
+	Generation                   int64
+}
+
+// endpoint is one shard server address plus its health bookkeeping.
+type endpoint struct {
+	url string
+	cl  *client.Client // retrying sub-query client
+
+	mu      sync.Mutex
+	state   State
+	fails   int // consecutive failures (healthy state)
+	oks     int // consecutive probe successes (dead/probation states)
+	info    shardInfoSnapshot
+	hasInfo bool
+}
+
+func (ep *endpoint) currentState() State {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.state
+}
+
+func (ep *endpoint) lastInfo() (shardInfoSnapshot, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.info, ep.hasInfo
+}
+
+func (ep *endpoint) setInfo(in *server.ShardInfo) {
+	ep.mu.Lock()
+	ep.info = shardInfoSnapshot{
+		BaseCol: in.BaseCol, Cols: in.Cols, Rows: in.Rows,
+		TileRows: in.TileRows, TileCols: in.TileCols, Clusters: in.Clusters,
+		P: in.P, K: in.K, Seed: in.Seed, Estimator: in.Estimator,
+		Generation: in.Generation,
+	}
+	ep.hasInfo = true
+	ep.mu.Unlock()
+}
+
+// noteFailure records one failure (probe or passive) and applies the
+// ejection rules. boot relaxes nothing — it only suppresses the
+// state-change log during New's synchronous first round.
+func (c *Coordinator) noteFailure(ep *endpoint, boot bool) {
+	ep.mu.Lock()
+	from := ep.state
+	to := from
+	switch ep.state {
+	case StateHealthy:
+		ep.fails++
+		if ep.fails >= c.cfg.EjectAfter {
+			to = StateDead
+		}
+	case StateProbation:
+		// One strike: probation exists to catch flapping processes
+		// before they re-earn full trust.
+		to = StateDead
+	case StateDead:
+		ep.oks = 0
+	}
+	if to != from {
+		ep.state = to
+		ep.fails, ep.oks = 0, 0
+	}
+	ep.mu.Unlock()
+	if to != from {
+		mEjections.Add(1)
+		if !boot {
+			c.cfg.Logf("coord: endpoint %s: %v -> %v", ep.url, from, to)
+		}
+		if c.cfg.OnStateChange != nil {
+			c.cfg.OnStateChange(ep.url, from, to)
+		}
+	}
+}
+
+// noteProbeOK records one successful probe and applies the
+// re-admission rules.
+func (c *Coordinator) noteProbeOK(ep *endpoint, boot bool) {
+	ep.mu.Lock()
+	from := ep.state
+	to := from
+	switch ep.state {
+	case StateHealthy:
+		ep.fails = 0
+	case StateDead:
+		ep.oks++
+		if boot || ep.oks >= c.cfg.ReadmitAfter {
+			// At boot one good probe admits straight to healthy: there
+			// is no failure history to be suspicious of.
+			to = StateProbation
+			if boot {
+				to = StateHealthy
+			}
+		}
+	case StateProbation:
+		ep.oks++
+		if ep.oks >= c.cfg.ReadmitAfter {
+			to = StateHealthy
+		}
+	}
+	if to != from {
+		ep.state = to
+		ep.fails, ep.oks = 0, 0
+	}
+	ep.mu.Unlock()
+	if to != from {
+		if from == StateDead {
+			mReadmits.Add(1)
+		}
+		if !boot {
+			c.cfg.Logf("coord: endpoint %s: %v -> %v", ep.url, from, to)
+		}
+		if c.cfg.OnStateChange != nil {
+			c.cfg.OnStateChange(ep.url, from, to)
+		}
+	}
+}
+
+func (c *Coordinator) probeLoop() {
+	defer close(c.stopped)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeRound(false)
+		}
+	}
+}
+
+// probeRound probes every endpoint concurrently, updates health states,
+// and refreshes the shard map from the latest self-descriptions.
+func (c *Coordinator) probeRound(boot bool) {
+	var wg sync.WaitGroup
+	for _, ep := range c.endpoints {
+		wg.Add(1)
+		go func(ep *endpoint) {
+			defer wg.Done()
+			if c.probeOne(ep) {
+				c.noteProbeOK(ep, boot)
+			} else {
+				c.noteFailure(ep, boot)
+			}
+		}(ep)
+	}
+	wg.Wait()
+	c.refreshMap()
+}
+
+// probeOne is a single un-retried health check: GET /readyz (the
+// routing gate — a booting store-mode shard answers 503 there and must
+// not take traffic), then GET /v1/shardinfo to refresh the endpoint's
+// placement, catching base_col movement (sliding-window trims) and
+// snapshot generation changes. Uses a direct http.Client, not the
+// retrying one: a probe that retries masks exactly the flakiness it
+// exists to detect.
+func (c *Coordinator) probeOne(ep *endpoint) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	if !c.probeGet(ctx, ep.url+"/readyz", nil) {
+		return false
+	}
+	var info server.ShardInfo
+	if !c.probeGet(ctx, ep.url+"/v1/shardinfo", &info) || !info.Ready {
+		return false
+	}
+	ep.setInfo(&info)
+	return true
+}
+
+func (c *Coordinator) probeGet(ctx context.Context, u string, out any) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.probeHTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if out != nil && json.Unmarshal(body, out) != nil {
+		return false
+	}
+	return true
+}
+
+// errNoEndpoints reports a range with no live replica — the trigger
+// for partial answers (allow) or 503 (deny).
+type errNoEndpoints struct{ rng *shardRange }
+
+func (e *errNoEndpoints) Error() string {
+	return "no live endpoint for shard " + e.rng.String()
+}
+
+// isEndpointFault reports whether a sub-query error indicts the
+// endpoint (transport trouble, 5xx, exhausted retries, damaged bodies)
+// rather than the query itself (4xx — wrong everywhere, striking the
+// endpoint for it would eject healthy shards on client mistakes).
+func isEndpointFault(err error) bool {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500 || se.Code == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// subQuery runs fn against the live endpoints of rng with straggler
+// hedging: the first endpoint gets HedgeDelay to answer before the
+// same sub-query fires at the next replica; first success wins, a
+// failure fails over immediately, and losers are cancelled. Passive
+// failures strike the failing endpoint's health. The ctx should
+// already carry the sub-query deadline (subDeadline).
+func subQuery[T any](c *Coordinator, ctx context.Context, rng *shardRange, fn func(context.Context, *endpoint) (T, error)) (T, error) {
+	var zero T
+	eps := liveEndpoints(rng, c.rr.Add(1))
+	if len(eps) == 0 {
+		return zero, &errNoEndpoints{rng: rng}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		v     T
+		err   error
+		ep    *endpoint
+		hedge bool
+	}
+	ch := make(chan result, len(eps))
+	next, inflight := 0, 0
+	launch := func(hedge bool) {
+		ep := eps[next]
+		next++
+		inflight++
+		mShardRequests.Add(ep.url, 1)
+		go func() {
+			v, err := fn(cctx, ep)
+			ch <- result{v, err, ep, hedge}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if len(eps) > 1 {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					mHedgeWins.Add(1)
+				}
+				return r.v, nil
+			}
+			if cctx.Err() != nil {
+				// The request deadline (or a won race) cancelled this
+				// sub-query; the error says nothing about the endpoint.
+				return zero, ctx.Err()
+			}
+			mShardFailures.Add(r.ep.url, 1)
+			if isEndpointFault(r.err) {
+				c.noteFailure(r.ep, false)
+			} else {
+				return zero, r.err // query error: same answer everywhere
+			}
+			lastErr = r.err
+			if next < len(eps) {
+				launch(false) // immediate failover, not a hedge
+			} else if inflight == 0 {
+				return zero, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(eps) {
+				mHedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// subDeadline derives the context and server-side timeout for one
+// sub-query: the remaining request budget minus MergeReserve, so the
+// coordinator keeps enough of the budget to merge and answer even when
+// a shard eats its whole slice.
+func (c *Coordinator) subDeadline(ctx context.Context) (context.Context, context.CancelFunc, time.Duration) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		sub, cancel := context.WithCancel(ctx)
+		return sub, cancel, 0
+	}
+	budget := time.Until(dl) - c.cfg.MergeReserve
+	if budget < time.Millisecond {
+		budget = time.Millisecond
+	}
+	sub, cancel := context.WithTimeout(ctx, budget)
+	return sub, cancel, budget
+}

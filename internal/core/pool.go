@@ -234,6 +234,14 @@ func (pl *Pool) K() int { return pl.k }
 // NumSizes returns how many dyadic sizes the pool holds.
 func (pl *Pool) NumSizes() int { return len(pl.entries) }
 
+// Seed returns the seed every per-(size, set) sketcher seed derives
+// from. Sketcher randomness depends only on (seed, dyadic size, set,
+// lane) — never on column position — so pools with equal (p, k, seed,
+// estimator) over different column slices of one logical table produce
+// mutually comparable sketches; /v1/shardinfo exposes this for the
+// coordinator's merge-compatibility check.
+func (pl *Pool) Seed() uint64 { return pl.seed }
+
 // TableDims returns the dimensions of the table the pool was built over,
 // so holders of a loaded snapshot can validate query rectangles without
 // the original table.

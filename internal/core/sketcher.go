@@ -28,6 +28,33 @@ const (
 	EstimatorL2
 )
 
+// String names the estimator for wire formats (shardinfo); the zero
+// value EstimatorAuto stringifies as "auto" but never appears on the
+// wire (pools resolve it at construction).
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorMedian:
+		return "median"
+	case EstimatorL2:
+		return "l2"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEstimator is the inverse of Estimator.String.
+func ParseEstimator(s string) (Estimator, error) {
+	switch s {
+	case "median":
+		return EstimatorMedian, nil
+	case "l2":
+		return EstimatorL2, nil
+	case "auto":
+		return EstimatorAuto, nil
+	}
+	return 0, fmt.Errorf("core: unknown estimator %q", s)
+}
+
 // Sketcher produces Lp sketches for tiles of one fixed size. It owns k
 // random rows×cols matrices with i.i.d. symmetric p-stable entries,
 // generated deterministically from a seed so that sketches from different
@@ -194,6 +221,57 @@ func (s *Sketcher) DistanceScratch(a, b, scratch []float64) float64 {
 	default:
 		return quantile.AbsMedianDiff(a, b, scratch) / s.scale
 	}
+}
+
+// NewSketchDist returns the O(k) distance estimator over sketch vectors
+// for (p, k, estimator) WITHOUT building random matrices — the merge
+// half of a Sketcher, for processes (a scatter-gather coordinator) that
+// compare sketches produced elsewhere but never sketch data themselves.
+// The returned function is safe for concurrent use and applies exactly
+// the arithmetic Sketcher.DistanceScratch does, so a distance computed
+// from two shard-fetched sketches is bit-identical to the one the shard
+// itself would have reported for the same vectors.
+func NewSketchDist(p float64, k int, estimator Estimator) (func(a, b []float64) float64, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: sketch size k = %d must be positive", k)
+	}
+	if _, err := stable.New(p); err != nil {
+		return nil, err
+	}
+	if estimator == EstimatorL2 && p != 2 {
+		return nil, fmt.Errorf("core: EstimatorL2 requires p = 2, got p = %v", p)
+	}
+	if estimator == EstimatorAuto {
+		if p == 2 {
+			estimator = EstimatorL2
+		} else {
+			estimator = EstimatorMedian
+		}
+	}
+	scale := stable.MedianAbs(p)
+	scratchPool := &sync.Pool{New: func() any {
+		buf := make([]float64, k)
+		return &buf
+	}}
+	return func(a, b []float64) float64 {
+		if len(a) != k || len(b) != k {
+			panic(fmt.Sprintf("core: sketch lengths %d/%d != k=%d", len(a), len(b), k))
+		}
+		switch estimator {
+		case EstimatorL2:
+			var sum float64
+			for i := range a {
+				d := a[i] - b[i]
+				sum += d * d
+			}
+			return math.Sqrt(sum / float64(k))
+		default:
+			buf := scratchPool.Get().(*[]float64)
+			d := quantile.AbsMedianDiff(a, b, *buf) / scale
+			scratchPool.Put(buf)
+			return d
+		}
+	}, nil
 }
 
 // NormFromSketch estimates ‖x‖p of the tile whose sketch is a, using the

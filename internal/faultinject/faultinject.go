@@ -178,17 +178,26 @@ func FailNth(n int64) func() error {
 	}
 }
 
-// SlowReader models a slow client draining a response: it serves at most
-// Chunk bytes per Read (default 1) and invokes PerRead between chunks,
-// which tests wire to a Gate or counter to hold server-side writes open
-// deterministically.
+// SlowReader models a slow or failing client draining a response: it
+// serves at most Chunk bytes per Read (default 1) and invokes PerRead
+// between chunks, which tests wire to a Gate or counter to hold
+// server-side writes open deterministically. FailAt > 0 makes the
+// FailAt-th Read call (1-based) return ErrInjected instead of data —
+// the connection-reset-mid-body fault: earlier Reads delivered a valid
+// prefix, then the stream dies.
 type SlowReader struct {
 	R       io.Reader
 	Chunk   int
 	PerRead func()
+	FailAt  int
+	Count   int // Read calls observed so far
 }
 
 func (s *SlowReader) Read(p []byte) (int, error) {
+	s.Count++
+	if s.FailAt > 0 && s.Count == s.FailAt {
+		return 0, ErrInjected
+	}
 	if s.PerRead != nil {
 		s.PerRead()
 	}

@@ -50,8 +50,20 @@ type Config struct {
 	Batch int
 	// Op is the query type: "nearest" (default), "assign", "distance".
 	Op string
+	// Ops, when non-empty, replaces Op with a weighted mixed-operation
+	// workload: every request draws its op from this mixture using a
+	// dedicated PCG stream, so adding or removing an op from the mix
+	// never perturbs the tile popularity or arrival streams.
+	Ops []OpWeight
 	// Mode is the accuracy mode sent with every query (default auto).
 	Mode string
+	// Target is the wire dialect: "server" (default) or "coord". A
+	// coordinator target accepts the Partial knob and its answers carry
+	// partial-coverage tags, which the report counts.
+	Target string
+	// Partial is the per-request partial=allow|deny parameter (coord
+	// target only; "" omits it, leaving the fleet default in charge).
+	Partial string
 	// ZipfS is the zipf skew exponent s > 1 (default 1.2); higher
 	// concentrates traffic on fewer tiles.
 	ZipfS float64
@@ -85,8 +97,32 @@ func (c *Config) setDefaults() error {
 	if c.Op == "" {
 		c.Op = "nearest"
 	}
-	if c.Op != "nearest" && c.Op != "assign" && c.Op != "distance" {
-		return fmt.Errorf("replay: unknown op %q", c.Op)
+	if err := checkOp(c.Op); err != nil {
+		return err
+	}
+	for _, ow := range c.Ops {
+		if err := checkOp(ow.Op); err != nil {
+			return err
+		}
+		if ow.Weight <= 0 {
+			return fmt.Errorf("replay: op %q weight %v must be positive", ow.Op, ow.Weight)
+		}
+	}
+	switch c.Target {
+	case "":
+		c.Target = "server"
+	case "server", "coord":
+	default:
+		return fmt.Errorf("replay: unknown target %q (want server or coord)", c.Target)
+	}
+	switch c.Partial {
+	case "":
+	case "allow", "deny":
+		if c.Target != "coord" {
+			return fmt.Errorf("replay: partial=%s needs -target coord (a plain server has no partial knob)", c.Partial)
+		}
+	default:
+		return fmt.Errorf("replay: bad partial %q (want allow or deny)", c.Partial)
 	}
 	if c.Mode == "" {
 		c.Mode = server.ModeAuto
@@ -109,6 +145,20 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
+// OpWeight is one component of a mixed-operation workload.
+type OpWeight struct {
+	Op     string  `json:"op"`
+	Weight float64 `json:"weight"`
+}
+
+func checkOp(op string) error {
+	switch op {
+	case "nearest", "assign", "distance":
+		return nil
+	}
+	return fmt.Errorf("replay: unknown op %q", op)
+}
+
 // Percentiles are conservative bucket-upper-bound latency quantiles in
 // milliseconds.
 type Percentiles struct {
@@ -121,7 +171,9 @@ type Percentiles struct {
 
 // Report is the JSON result of one replay run.
 type Report struct {
-	Op             string      `json:"op"`
+	Op             string      `json:"op"` // "mixed" under an Ops mixture
+	Ops            []OpWeight  `json:"ops,omitempty"`
+	Target         string      `json:"target"`
 	Mode           string      `json:"mode"`
 	Batch          int         `json:"batch"`
 	TargetRate     float64     `json:"target_rate_qps"`
@@ -135,6 +187,7 @@ type Report struct {
 	Errors         int64       `json:"errors"`    // other failures (per-item or transport)
 	Overflow       int64       `json:"overflow"`  // queries dropped at the open-loop cap
 	Degraded       int64       `json:"degraded"`  // served queries answered on a degraded tier
+	Partial        int64       `json:"partial"`   // served queries tagged with missing shard coverage (coord target)
 	ElapsedSec     float64     `json:"elapsed_sec"`
 	AchievedRate   float64     `json:"achieved_rate_qps"` // (served+shed+timed_out+errors)/elapsed
 	ShedRate       float64     `json:"shed_rate"`         // shed / issued
@@ -165,6 +218,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		errs     atomic.Int64
 		overflow atomic.Int64
 		degraded atomic.Int64
+		partial  atomic.Int64
 		requests atomic.Int64
 		wg       sync.WaitGroup
 	)
@@ -205,18 +259,25 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			timedOut.Add(out.timedOut)
 			errs.Add(out.errs)
 			degraded.Add(out.degraded)
+			partial.Add(out.partial)
 		}(rq)
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 
 	issued := served.Load() + shed.Load() + timedOut.Load() + errs.Load()
+	op := cfg.Op
+	if len(cfg.Ops) > 0 {
+		op = "mixed"
+	}
 	rep := &Report{
-		Op: cfg.Op, Mode: cfg.Mode, Batch: cfg.Batch, TargetRate: cfg.Rate,
+		Op: op, Ops: cfg.Ops, Target: cfg.Target,
+		Mode: cfg.Mode, Batch: cfg.Batch, TargetRate: cfg.Rate,
 		Seed: cfg.Seed, Tiles: geom.tiles, Queries: cfg.Queries,
 		Requests: requests.Load(),
 		Served:   served.Load(), Shed: shed.Load(), TimedOut: timedOut.Load(),
 		Errors: errs.Load(), Overflow: overflow.Load(), Degraded: degraded.Load(),
+		Partial:    partial.Load(),
 		ElapsedSec: wall,
 		RequestLatency: Percentiles{
 			P50: ms(hist.quantile(0.50)), P90: ms(hist.quantile(0.90)),
@@ -280,7 +341,7 @@ type request struct {
 }
 
 type outcome struct {
-	served, shed, timedOut, errs, degraded int64
+	served, shed, timedOut, errs, degraded, partial int64
 }
 
 // buildWorkload materializes the deterministic query stream: zipf
@@ -299,20 +360,45 @@ func buildWorkload(cfg *Config, g *geometry) []request {
 		return server.FormatRect(r)
 	}
 
+	// Mixed workloads draw the op per REQUEST (a batch is homogeneous —
+	// batch endpoints are per-op) from their own stream, so the tile and
+	// arrival streams replay identically with or without the mixture.
+	drawOp := func() string { return cfg.Op }
+	if len(cfg.Ops) > 0 {
+		mix := rand.New(rand.NewPCG(cfg.Seed, 0x6f702d6d6978))
+		var total float64
+		for _, ow := range cfg.Ops {
+			total += ow.Weight
+		}
+		drawOp = func() string {
+			x := mix.Float64() * total
+			for _, ow := range cfg.Ops {
+				if x -= ow.Weight; x < 0 {
+					return ow.Op
+				}
+			}
+			return cfg.Ops[len(cfg.Ops)-1].Op
+		}
+	}
+
 	suffix := "&mode=" + cfg.Mode
 	if cfg.TimeoutMS > 0 {
 		suffix += fmt.Sprintf("&timeout_ms=%d", cfg.TimeoutMS)
+	}
+	if cfg.Partial != "" {
+		suffix += "&partial=" + cfg.Partial
 	}
 	var reqs []request
 	for issued := 0; issued < cfg.Queries; {
 		n := min(cfg.Batch, cfg.Queries-issued)
 		issued += n
+		op := drawOp()
 		if cfg.Batch == 1 {
 			var path string
-			if cfg.Op == "distance" {
+			if op == "distance" {
 				path = "/v1/distance?a=" + tileRect() + "&b=" + tileRect() + suffix
 			} else {
-				path = "/v1/" + cfg.Op + "?q=" + tileRect() + suffix
+				path = "/v1/" + op + "?q=" + tileRect() + suffix
 			}
 			reqs = append(reqs, request{n: 1, target: path})
 			continue
@@ -320,14 +406,18 @@ func buildWorkload(cfg *Config, g *geometry) []request {
 		br := server.BatchRequest{Mode: cfg.Mode, TimeoutMS: cfg.TimeoutMS,
 			Items: make([]server.BatchItem, n)}
 		for i := range br.Items {
-			if cfg.Op == "distance" {
+			if op == "distance" {
 				br.Items[i] = server.BatchItem{A: tileRect(), B: tileRect()}
 			} else {
 				br.Items[i] = server.BatchItem{Q: tileRect()}
 			}
 		}
 		body, _ := json.Marshal(&br)
-		reqs = append(reqs, request{n: n, body: body, target: "/v1/batch/" + cfg.Op})
+		target := "/v1/batch/" + op
+		if cfg.Partial != "" {
+			target += "?partial=" + cfg.Partial
+		}
+		reqs = append(reqs, request{n: n, body: body, target: target})
 	}
 	return reqs
 }
@@ -373,16 +463,31 @@ func (rq request) issue(ctx context.Context, cfg *Config) outcome {
 		if err := json.Unmarshal(body, &br); err != nil {
 			return outcome{errs: int64(rq.n)}
 		}
-		return outcome{
+		out := outcome{
 			served: int64(br.Served), errs: int64(br.Failed), degraded: int64(br.Degraded),
 		}
+		for _, item := range br.Items {
+			var tag struct {
+				Partial bool `json:"partial"`
+			}
+			if json.Unmarshal(item, &tag) == nil && tag.Partial {
+				out.partial++
+			}
+		}
+		return out
 	}
 	var tag struct {
 		Degraded bool `json:"degraded"`
+		Partial  bool `json:"partial"`
 	}
 	out := outcome{served: 1}
-	if json.Unmarshal(body, &tag) == nil && tag.Degraded {
-		out.degraded = 1
+	if json.Unmarshal(body, &tag) == nil {
+		if tag.Degraded {
+			out.degraded = 1
+		}
+		if tag.Partial {
+			out.partial = 1
+		}
 	}
 	return out
 }

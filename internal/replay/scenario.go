@@ -1,0 +1,86 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scenario is a reusable workload description loaded from a JSON file,
+// so chaos drills and CI jobs pin their traffic shape in a reviewable
+// artifact instead of a shell line of flags. Zero-valued fields leave
+// the Config they are applied to untouched, which lets callers override
+// single knobs (rate, seed) on top of a shared scenario.
+type Scenario struct {
+	Queries        int        `json:"queries"`
+	Rate           float64    `json:"rate_qps"`
+	Batch          int        `json:"batch"`
+	Op             string     `json:"op"`
+	Ops            []OpWeight `json:"ops"`
+	Mode           string     `json:"mode"`
+	Target         string     `json:"target"`
+	Partial        string     `json:"partial"`
+	ZipfS          float64    `json:"zipf_s"`
+	MaxOutstanding int        `json:"max_outstanding"`
+	TimeoutMS      int        `json:"timeout_ms"`
+	Seed           uint64     `json:"seed"`
+}
+
+// LoadScenario reads and decodes one scenario file. Unknown fields are
+// errors: a typoed knob that silently does nothing would invalidate the
+// drill that depends on it.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: scenario: %w", err)
+	}
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("replay: scenario %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// Apply copies the scenario's set fields onto cfg, leaving cfg's values
+// in place for fields the scenario omits.
+func (sc *Scenario) Apply(cfg *Config) {
+	if sc.Queries > 0 {
+		cfg.Queries = sc.Queries
+	}
+	if sc.Rate > 0 {
+		cfg.Rate = sc.Rate
+	}
+	if sc.Batch > 0 {
+		cfg.Batch = sc.Batch
+	}
+	if sc.Op != "" {
+		cfg.Op = sc.Op
+	}
+	if len(sc.Ops) > 0 {
+		cfg.Ops = sc.Ops
+	}
+	if sc.Mode != "" {
+		cfg.Mode = sc.Mode
+	}
+	if sc.Target != "" {
+		cfg.Target = sc.Target
+	}
+	if sc.Partial != "" {
+		cfg.Partial = sc.Partial
+	}
+	if sc.ZipfS > 0 {
+		cfg.ZipfS = sc.ZipfS
+	}
+	if sc.MaxOutstanding > 0 {
+		cfg.MaxOutstanding = sc.MaxOutstanding
+	}
+	if sc.TimeoutMS > 0 {
+		cfg.TimeoutMS = sc.TimeoutMS
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+}

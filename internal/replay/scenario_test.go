@@ -1,0 +1,139 @@
+// Scenario files pin a drill's traffic shape; these tests pin the
+// loader's contract: the checked-in coordinator scenario parses, typos
+// are loud errors, Apply only overwrites fields the scenario sets, and
+// a mixed-op workload is deterministic with every op represented.
+package replay
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadScenarioMixedCoord(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "mixed-coord.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Target != "coord" || sc.Partial != "allow" || sc.Mode != "sketch" {
+		t.Errorf("scenario wiring: %+v", sc)
+	}
+	if len(sc.Ops) != 3 {
+		t.Fatalf("want 3 ops in the mixture, got %v", sc.Ops)
+	}
+	for _, ow := range sc.Ops {
+		if err := checkOp(ow.Op); err != nil {
+			t.Errorf("scenario carries %v", err)
+		}
+		if ow.Weight <= 0 {
+			t.Errorf("op %s has non-positive weight %v", ow.Op, ow.Weight)
+		}
+	}
+
+	// The checked-in scenario must survive setDefaults — a drill that
+	// fails validation at startup is a broken artifact.
+	cfg := Config{BaseURL: "http://example.invalid"}
+	sc.Apply(&cfg)
+	if err := cfg.setDefaults(); err != nil {
+		t.Errorf("scenario does not validate: %v", err)
+	}
+	if cfg.Queries != sc.Queries || cfg.Seed != sc.Seed || cfg.Target != "coord" {
+		t.Errorf("Apply dropped fields: %+v", cfg)
+	}
+}
+
+func TestLoadScenarioRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(path, []byte(`{"queries": 10, "rate_pqs": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScenario(path); err == nil || !strings.Contains(err.Error(), "rate_pqs") {
+		t.Errorf("typoed field not rejected: %v", err)
+	}
+}
+
+func TestScenarioApplyPreservesUnsetFields(t *testing.T) {
+	cfg := Config{BaseURL: "http://example.invalid", Queries: 50, Rate: 123, Seed: 9, Op: "assign"}
+	sc := &Scenario{Rate: 250, Mode: "exact"}
+	sc.Apply(&cfg)
+	if cfg.Rate != 250 || cfg.Mode != "exact" {
+		t.Errorf("set fields not applied: %+v", cfg)
+	}
+	if cfg.Queries != 50 || cfg.Seed != 9 || cfg.Op != "assign" || cfg.BaseURL != "http://example.invalid" {
+		t.Errorf("unset scenario fields clobbered cfg: %+v", cfg)
+	}
+}
+
+// TestMixedWorkloadDeterministic builds the same mixed-op stream twice
+// and checks (a) identical output, (b) every op in the mixture actually
+// appears, (c) the tile stream is unchanged by the mixture — the
+// op draw must come from its own PCG stream.
+func TestMixedWorkloadDeterministic(t *testing.T) {
+	g := &geometry{gridRows: 4, gridCols: 4, tileRows: 8, tileCols: 8, tiles: 16}
+	mk := func(ops []OpWeight) []request {
+		cfg := Config{
+			BaseURL: "http://example.invalid", Queries: 200, Rate: 100, Batch: 1,
+			Op: "nearest", Ops: ops, Mode: "sketch", ZipfS: 1.2,
+			MaxOutstanding: 8, Seed: 7,
+		}
+		if err := cfg.setDefaults(); err != nil {
+			t.Fatal(err)
+		}
+		return buildWorkload(&cfg, g)
+	}
+	mix := []OpWeight{{Op: "nearest", Weight: 3}, {Op: "distance", Weight: 2}, {Op: "assign", Weight: 1}}
+
+	a, b := mk(mix), mk(mix)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("want 200 requests, got %d and %d", len(a), len(b))
+	}
+	seen := map[string]int{}
+	for i := range a {
+		if a[i].target != b[i].target {
+			t.Fatalf("request %d differs across identical builds:\n  %s\n  %s", i, a[i].target, b[i].target)
+		}
+		op := strings.TrimPrefix(a[i].target, "/v1/")
+		seen[op[:strings.IndexAny(op, "?")]]++
+	}
+	for _, ow := range mix {
+		if seen[ow.Op] == 0 {
+			t.Errorf("op %s never drawn in 200 requests: %v", ow.Op, seen)
+		}
+	}
+	if seen["nearest"] <= seen["assign"] {
+		t.Errorf("weights ignored: %v", seen)
+	}
+
+	// Same seed, no mixture: the op draw must come from its own PCG
+	// stream, so the underlying TILE stream is shared. A distance
+	// request consumes two tile draws where nearest consumes one, so the
+	// runs align on the flattened draw sequence, not request-for-request.
+	plain, mixed := rectSeq(t, mk(nil)), rectSeq(t, a)
+	for i := 0; i < min(len(plain), len(mixed)); i++ {
+		if plain[i] != mixed[i] {
+			t.Fatalf("tile draw %d: mixture perturbed the tile stream: %s vs %s",
+				i, plain[i], mixed[i])
+		}
+	}
+}
+
+// rectSeq flattens a workload into its ordered sequence of tile draws
+// (the q, a, b rect parameters), normalizing away op-dependent key
+// names.
+func rectSeq(t *testing.T, reqs []request) []string {
+	t.Helper()
+	var rects []string
+	for _, rq := range reqs {
+		q := rq.target[strings.IndexAny(rq.target, "?")+1:]
+		for _, kv := range strings.Split(q, "&") {
+			if strings.HasPrefix(kv, "q=") || strings.HasPrefix(kv, "a=") || strings.HasPrefix(kv, "b=") {
+				rects = append(rects, kv[2:])
+			}
+		}
+	}
+	if len(rects) == 0 {
+		t.Fatal("no rect params in workload")
+	}
+	return rects
+}

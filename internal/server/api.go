@@ -136,10 +136,80 @@ type Health struct {
 	Reloads  int64  `json:"reloads"` // snapshot swaps since startup
 }
 
+// Ready answers /readyz: 200/"ready" once a snapshot is being served,
+// 503/"booting" before (see Server.New on the nil-snapshot boot state).
+type Ready struct {
+	Status     string `json:"status"`
+	Generation int64  `json:"generation,omitempty"`
+}
+
 // errorBody is the JSON shape of every non-2xx answer and of every
 // failed batch item.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// ShardInfo answers /v1/shardinfo: the cheap self-description a
+// scatter-gather coordinator needs to place this server in a shard map
+// and to verify that sketches from different shards are mutually
+// comparable (equal p, k, seed, estimator — the pool's random matrices
+// depend only on those, never on column position, so equal parameters
+// make cross-shard sketches merge-compatible).
+type ShardInfo struct {
+	Ready    bool `json:"ready"` // a snapshot is being served
+	BaseCol  int  `json:"base_col"`
+	Rows     int  `json:"rows"`
+	Cols     int  `json:"cols"`
+	TileRows int  `json:"tile_rows"`
+	TileCols int  `json:"tile_cols"`
+	Tiles    int  `json:"tiles"`
+	Clusters int  `json:"clusters"`
+
+	P         float64 `json:"p"`
+	K         int     `json:"k"`
+	Seed      uint64  `json:"seed"`
+	Estimator string  `json:"estimator"` // "median" or "l2"
+
+	// Generation identifies the snapshot this answer (and every query
+	// answer carrying a generation echo) came from; it increments on
+	// every Swap/Publish. A coordinator uses it to detect stale shards
+	// after a publish and to assert that one sub-query never mixes
+	// snapshot generations.
+	Generation int64 `json:"generation"`
+}
+
+// SketchResult answers GET /v1/sketch?rect=...: the O(k) pool sketch of
+// one rectangle (in this shard's local coordinates), the raw material a
+// coordinator merges by linear lane-wise sum — sketches are linear in
+// the data, so the sum of per-shard sketches of disjoint column chunks
+// is a sketch of their union.
+type SketchResult struct {
+	Sketch     []float64 `json:"sketch"`
+	Exact      bool      `json:"exact"` // exactly-dyadic rect (full (1±ε) guarantee)
+	Generation int64     `json:"generation"`
+}
+
+// SketchQueryRequest is the body of POST /v1/sketch/nearest and
+// /v1/sketch/assign: a query sketch (produced by this or any
+// merge-compatible shard) to scan the local tile grid or medoid set
+// against. Exclude, when non-empty, names one local rectangle to skip —
+// the query's own tile position on its owner shard.
+type SketchQueryRequest struct {
+	Sketch  []float64 `json:"sketch"`
+	Exclude string    `json:"exclude,omitempty"`
+}
+
+// SketchBest answers the sketch sub-query endpoints: the best local
+// candidate under the O(k) estimator distance to the posted sketch.
+// Tile, Rect, Cluster, and Medoid are in shard-local coordinates; the
+// coordinator translates them through the shard map.
+type SketchBest struct {
+	Tile       int     `json:"tile"`              // nearest: local tile index
+	Rect       string  `json:"rect"`              // nearest: local tile rectangle
+	Cluster    int     `json:"cluster,omitempty"` // assign: local cluster id
+	Medoid     int     `json:"medoid,omitempty"`  // assign: local medoid tile index
+	Distance   float64 `json:"distance"`
+	Generation int64   `json:"generation"`
 }
 
 // BatchItem is one query inside a BatchRequest: a/b for distance

@@ -39,6 +39,11 @@ func (s *Server) handleBatch(op string, run batchFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Add(1)
 		mBatchRequests.Add(1)
+		sn, _ := s.current()
+		if sn == nil {
+			s.writeNotReady(w)
+			return
+		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, "batch endpoints accept POST only")
@@ -102,7 +107,7 @@ func (s *Server) handleBatch(op string, run batchFunc) http.HandlerFunc {
 		mBatchItems.Add(int64(n))
 
 		resp := &BatchResponse{Items: make([]json.RawMessage, n)}
-		if err := run(ctx, s.snap.Load(), &req, resp); err != nil {
+		if err := run(ctx, sn, &req, resp); err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}

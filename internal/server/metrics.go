@@ -17,6 +17,8 @@ var (
 	mBatchItems      = expvar.NewInt("tabmine_batch_items")
 	mBatchItemErrors = expvar.NewInt("tabmine_batch_item_errors")
 
+	mShardSubqueries = expvar.NewInt("tabmine_shard_subqueries")
+
 	mIngest         = expvar.NewInt("tabmine_ingest_records")
 	mIngestAccepted = expvar.NewInt("tabmine_ingest_accepted")
 	mIngestShed     = expvar.NewInt("tabmine_ingest_shed")
@@ -39,6 +41,8 @@ type Stats struct {
 	BatchRequests   int64 // POST /v1/batch/* requests received
 	BatchItems      int64 // items across admitted batches
 	BatchItemErrors int64 // items that answered with a per-item error
+
+	ShardSubqueries int64 // /v1/sketch{,/nearest,/assign} sub-queries received
 
 	IngestRecords  int64 // POST /v1/ingest bodies received
 	IngestAccepted int64 // records durably appended
@@ -63,6 +67,8 @@ func ReadStats() Stats {
 		BatchRequests:   mBatchRequests.Value(),
 		BatchItems:      mBatchItems.Value(),
 		BatchItemErrors: mBatchItemErrors.Value(),
+
+		ShardSubqueries: mShardSubqueries.Value(),
 
 		IngestRecords:  mIngest.Value(),
 		IngestAccepted: mIngestAccepted.Value(),

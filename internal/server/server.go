@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -132,11 +133,22 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// snapState pairs a snapshot with its generation so one atomic load
+// observes both: every handler resolves (snapshot, generation) exactly
+// once per request, which is what lets sub-query answers echo a
+// generation that is guaranteed to match the data they were computed
+// from even while Swap runs concurrently.
+type snapState struct {
+	sn  *Snapshot
+	gen int64
+}
+
 // Server serves sketch queries over one atomically swappable Snapshot.
 type Server struct {
-	cfg  Config
-	snap atomic.Pointer[Snapshot]
-	sem  chan struct{} // execution slots, cap MaxInflight
+	cfg    Config
+	snap   atomic.Pointer[snapState]
+	swapMu sync.Mutex    // serializes Swap's generation increment
+	sem    chan struct{} // execution slots, cap MaxInflight
 	// Admission pressure is tracked as weighted cost: a single query
 	// weighs 1, a batch weighs its item count. queuedCost is the summed
 	// weight waiting for a slot (bounded by MaxQueue), inflightCost the
@@ -148,16 +160,23 @@ type Server struct {
 	hs           *http.Server
 }
 
-// New builds a Server answering from snap under cfg's policy.
+// New builds a Server answering from snap under cfg's policy. A nil
+// snap is the booting state: the server binds and answers /healthz
+// (status "booting") and /readyz (503) immediately, sheds every query
+// with 503 + Retry-After, and starts serving at the first Swap/Publish —
+// the store-mode boot sequence, where resuming the pool takes a while
+// and a coordinator must be able to probe "not ready yet" cheaply.
 func New(snap *Snapshot, cfg Config) (*Server, error) {
-	if snap == nil {
-		return nil, fmt.Errorf("server: nil snapshot")
-	}
 	cfg.setDefaults()
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
-	s.snap.Store(snap)
+	if snap != nil {
+		s.snap.Store(&snapState{sn: snap, gen: 1})
+	} else {
+		s.snap.Store(&snapState{})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/v1/distance", s.wrap("distance", s.opDistance))
 	s.mux.HandleFunc("/v1/nearest", s.wrap("nearest", s.opNearest))
@@ -166,6 +185,10 @@ func New(snap *Snapshot, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/batch/nearest", s.handleBatch("nearest", s.batchNearest))
 	s.mux.HandleFunc("/v1/batch/assign", s.handleBatch("assign", s.batchAssign))
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/shardinfo", s.handleShardInfo)
+	s.mux.HandleFunc("/v1/sketch", s.wrapSub("sketch", s.subSketch))
+	s.mux.HandleFunc("/v1/sketch/nearest", s.wrapSub("sketch/nearest", s.subSketchNearest))
+	s.mux.HandleFunc("/v1/sketch/assign", s.wrapSub("sketch/assign", s.subSketchAssign))
 	s.hs = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
@@ -179,13 +202,34 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Swap atomically replaces the serving snapshot: requests already
 // executing finish against the old one, new requests see the new one.
-// This is the SIGHUP hot-reload path.
+// This is the SIGHUP hot-reload path. Each swap advances the snapshot
+// generation echoed by /v1/shardinfo and the sketch sub-query answers.
+// Swapping nil is ignored (the booting state is entered only at New).
 func (s *Server) Swap(snap *Snapshot) {
-	s.snap.Store(snap)
+	if snap == nil {
+		s.cfg.Logf("server: ignoring nil snapshot swap")
+		return
+	}
+	s.swapMu.Lock()
+	gen := s.snap.Load().gen + 1
+	s.snap.Store(&snapState{sn: snap, gen: gen})
+	s.swapMu.Unlock()
 	s.reloads.Add(1)
 	mReloads.Add(1)
-	s.cfg.Logf("server: snapshot swapped (%d tiles, %d clusters)", snap.NumTiles(), snap.Clusters())
+	s.cfg.Logf("server: snapshot swapped (%d tiles, %d clusters, generation %d)",
+		snap.NumTiles(), snap.Clusters(), gen)
 }
+
+// current resolves the serving snapshot and its generation in one
+// atomic load. sn is nil while the server is booting (New with a nil
+// snapshot, before the first Swap).
+func (s *Server) current() (sn *Snapshot, gen int64) {
+	st := s.snap.Load()
+	return st.sn, st.gen
+}
+
+// Generation reports the current snapshot generation (0 while booting).
+func (s *Server) Generation() int64 { return s.snap.Load().gen }
 
 // Queued reports the weighted cost (single query = 1, batch = item
 // count) waiting for an execution slot.
@@ -290,6 +334,11 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Add(1)
 
+		sn, _ := s.current()
+		if sn == nil {
+			s.writeNotReady(w)
+			return
+		}
 		timeout := s.cfg.DefaultTimeout
 		if tms := r.URL.Query().Get("timeout_ms"); tms != "" {
 			v, err := strconv.Atoi(tms)
@@ -333,7 +382,7 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 		}
 		mode, reason := s.tier(ctx, mode)
 
-		res, err := fn(ctx, s.snap.Load(), r.URL.Query(), mode, reason)
+		res, err := fn(ctx, sn, r.URL.Query(), mode, reason)
 		if err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
@@ -599,13 +648,43 @@ func (s *Server) itemAssign(ctx context.Context, sn *Snapshot, q table.Rect, pla
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
+	sn, _ := s.current()
+	if sn == nil {
+		// Alive but not serving yet: /healthz answers 200 (the process is
+		// healthy), /readyz answers 503 (do not route queries here).
+		writeJSON(w, http.StatusOK, &Health{Status: "booting"})
+		return
+	}
 	writeJSON(w, http.StatusOK, &Health{
 		Status: "ok", Rows: sn.tb.Rows(), Cols: sn.tb.Cols(),
 		Tiles: sn.NumTiles(), Clusters: sn.Clusters(),
 		TileRows: sn.TileRows(), TileCols: sn.TileCols(),
 		Reloads: s.reloads.Load(),
 	})
+}
+
+// handleReadyz is the routing gate, distinct from the liveness probe:
+// 200 exactly when a snapshot is being served. A store-mode server that
+// is still resuming its pool answers 503 here, so a coordinator never
+// routes a query to a booting shard.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	sn, gen := s.current()
+	if sn == nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, &Ready{Status: "booting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, &Ready{Status: "ready", Generation: gen})
+}
+
+// writeNotReady sheds a query arriving before the first snapshot with
+// the same 503 + Retry-After contract the admission queue uses, so the
+// retrying client and the coordinator treat "booting" exactly like
+// "saturated": back off and retry.
+func (s *Server) writeNotReady(w http.ResponseWriter) {
+	mShed.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	writeError(w, http.StatusServiceUnavailable, "no snapshot published yet, retry later")
 }
 
 func retryAfterSeconds(d time.Duration) string {

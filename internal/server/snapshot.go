@@ -308,6 +308,18 @@ func (sn *Snapshot) SketchNearest(ctx context.Context, q table.Rect) (int, float
 	if err != nil {
 		return 0, 0, err
 	}
+	return sn.SketchNearestVec(ctx, qsk, &q)
+}
+
+// SketchNearestVec is the scan half of SketchNearest, taking the query
+// sketch directly: the shard sub-query path (/v1/sketch/nearest) feeds
+// it sketches computed by ANOTHER shard, which are comparable to the
+// local tile sketches whenever (p, k, seed, estimator) match. exclude,
+// when non-nil, skips the one tile at that exact rectangle — the
+// query's own position on its owner shard. The scan and tie-break are
+// the exact loop SketchNearest always ran, so local callers see
+// byte-identical answers.
+func (sn *Snapshot) SketchNearestVec(ctx context.Context, qsk []float64, exclude *table.Rect) (int, float64, error) {
 	dists := make([]float64, len(sn.tiles))
 	for i, tsk := range sn.sketches {
 		if i%ctxStride == 0 {
@@ -315,7 +327,7 @@ func (sn *Snapshot) SketchNearest(ctx context.Context, q table.Rect) (int, float
 				return 0, 0, err
 			}
 		}
-		if sn.tiles[i] == q {
+		if exclude != nil && sn.tiles[i] == *exclude {
 			dists[i] = math.Inf(1)
 			continue
 		}
@@ -323,7 +335,7 @@ func (sn *Snapshot) SketchNearest(ctx context.Context, q table.Rect) (int, float
 	}
 	best := argmin(dists)
 	if best < 0 {
-		return 0, 0, fmt.Errorf("no candidate tile for %v", q)
+		return 0, 0, fmt.Errorf("no candidate tile")
 	}
 	return best, dists[best], nil
 }
@@ -359,6 +371,16 @@ func (sn *Snapshot) SketchAssign(ctx context.Context, q table.Rect) (cluster, me
 	qsk, err := sn.pool.Sketch(q, *bq)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	return sn.SketchAssignVec(ctx, qsk)
+}
+
+// SketchAssignVec is the scan half of SketchAssign, taking the query
+// sketch directly (see SketchNearestVec): the nearest local medoid to a
+// sketch that may have been computed by a merge-compatible shard.
+func (sn *Snapshot) SketchAssignVec(ctx context.Context, qsk []float64) (cluster, medoid int, d float64, err error) {
+	if sn.clusters == 0 {
+		return 0, 0, 0, errNoClusters
 	}
 	dists := make([]float64, len(sn.medoids))
 	for c, m := range sn.medoids {
