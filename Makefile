@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke shard-demo all
+.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke shard-demo handoff-demo all
 
 all: build test
 
@@ -151,6 +151,63 @@ shard-demo:
 	kill -TERM $$cp; wait $$cp; \
 	kill -TERM $$s0 $$s1 $$s2; wait $$s0 $$s1 $$s2; \
 	echo 'shard-demo OK'
+
+# Live shard handoff end to end: three shards + coordinator (fed by a
+# -shards-file), then — under a continuous mixed-op replay — a
+# replacement process for the middle band is registered through the
+# admin surface, earns traffic through probation, and the old owner is
+# retired via SIGHUP reconcile (fence, background drain, deregister).
+# The replay spanning the cutover must stay fully clean (zero partials,
+# zero hard errors) and must have observed the shard-map epoch advance.
+handoff-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"; kill $$s0 $$s1 $$s1b $$s2 $$cp 2>/dev/null || true' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/coord" ./cmd/tabmine-coord; \
+	$(GO) build -o "$$d/replay" ./cmd/tabmine-replay; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 32 -cols 96 -seed 11 -o "$$d/t.tabf"; \
+	shard() { exec "$$d/serve" -table "$$d/t.tabf" -cols "$$1" -addr "$$2" -addr-file "$$3" \
+		-k 64 -max-log 3 -tile-rows 8 -tile-cols 8 -clusters 3 -seed 5; }; \
+	shard 0:32  127.0.0.1:0 "$$d/a0" & s0=$$!; \
+	shard 32:64 127.0.0.1:0 "$$d/a1" & s1=$$!; \
+	shard 64:96 127.0.0.1:0 "$$d/a2" & s2=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/a0" ] && [ -s "$$d/a1" ] && [ -s "$$d/a2" ] && break; sleep 0.1; done; \
+	[ -s "$$d/a2" ] || { echo 'ERROR: shards never published their addresses'; exit 1; }; \
+	printf 'http://%s\nhttp://%s\nhttp://%s\n' "$$(cat "$$d/a0")" "$$(cat "$$d/a1")" "$$(cat "$$d/a2")" >"$$d/shards.txt"; \
+	"$$d/coord" -shards-file "$$d/shards.txt" -addr 127.0.0.1:0 -addr-file "$$d/ac" \
+		-probe-interval 100ms -probe-jitter-seed 1 2>"$$d/coord.log" & cp=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/ac" ] && break; sleep 0.1; done; \
+	[ -s "$$d/ac" ] || { echo 'ERROR: coordinator never published its address'; exit 1; }; \
+	co="http://$$(cat "$$d/ac")"; \
+	for i in $$(seq 1 100); do curl -fsS "$$co/readyz" >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -fsS "$$co/readyz" >/dev/null || { echo 'ERROR: fleet never became ready'; cat "$$d/coord.log"; exit 1; }; \
+	echo '--- replay through the cutover (must stay clean, must see the epoch move):'; \
+	"$$d/replay" -server "$$co" -scenario internal/replay/testdata/mixed-coord.json \
+		-n 4000 -rate 250 -out "$$d/replay.json" & rp=$$!; \
+	echo '--- register a replacement for cols 32..64 via the admin surface:'; \
+	shard 32:64 127.0.0.1:0 "$$d/a1b" & s1b=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/a1b" ] && break; sleep 0.1; done; \
+	[ -s "$$d/a1b" ] || { echo 'ERROR: replacement never published its address'; exit 1; }; \
+	curl -fsS -X POST "$$co/admin/register" --data "endpoint=http://$$(cat "$$d/a1b")" \
+		| grep -q '"registered"' || { echo 'ERROR: admin register failed'; cat "$$d/coord.log"; exit 1; }; \
+	for i in $$(seq 1 200); do grep -q 'probation -> healthy' "$$d/coord.log" && break; sleep 0.1; done; \
+	grep -q 'probation -> healthy' "$$d/coord.log" || { echo 'ERROR: replacement never earned traffic'; cat "$$d/coord.log"; exit 1; }; \
+	echo '--- retire the old owner via SIGHUP reconcile of the shards file:'; \
+	printf 'http://%s\nhttp://%s\nhttp://%s\n' "$$(cat "$$d/a0")" "$$(cat "$$d/a1b")" "$$(cat "$$d/a2")" >"$$d/shards.txt"; \
+	kill -HUP $$cp; \
+	for i in $$(seq 1 200); do grep -q 'deregistered endpoint' "$$d/coord.log" && break; sleep 0.1; done; \
+	grep -q 'SIGHUP: shard list re-read' "$$d/coord.log" || { echo 'ERROR: SIGHUP reconcile never ran'; cat "$$d/coord.log"; exit 1; }; \
+	grep -q 'deregistered endpoint' "$$d/coord.log" || { echo 'ERROR: old owner never deregistered'; cat "$$d/coord.log"; exit 1; }; \
+	kill -TERM $$s1; wait $$s1 2>/dev/null || true; \
+	wait $$rp || { echo 'ERROR: replay failed'; cat "$$d/coord.log"; exit 1; }; \
+	if grep -q '"served": 0,' "$$d/replay.json"; then echo 'ERROR: replay served nothing'; exit 1; fi; \
+	grep -q '"partial": 0,' "$$d/replay.json" || { echo 'ERROR: handoff produced partial answers'; cat "$$d/replay.json"; exit 1; }; \
+	grep -q '"errors": 0,' "$$d/replay.json" || { echo 'ERROR: handoff produced hard errors'; cat "$$d/replay.json"; exit 1; }; \
+	if grep -q '"epoch_changes": 0' "$$d/replay.json"; then \
+		echo 'ERROR: replay never saw the epoch advance'; cat "$$d/replay.json"; exit 1; fi; \
+	curl -fsS "$$co/readyz" >/dev/null || { echo 'ERROR: fleet not ready after handoff'; cat "$$d/coord.log"; exit 1; }; \
+	kill -TERM $$cp; wait $$cp; \
+	kill -TERM $$s0 $$s1b $$s2; wait $$s0 $$s1b $$s2; \
+	echo 'handoff-demo OK'
 
 # Demonstrates the store's corruption handling end to end: build a
 # two-day store, flip bytes in one day file, watch fsck quarantine it

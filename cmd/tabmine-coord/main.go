@@ -14,6 +14,13 @@
 // missing column ranges; -partial-deny (or per-query partial=deny)
 // turns any gap into a clean 503 + Retry-After.
 //
+// The fleet is mutable at runtime: POST /admin/register and
+// /admin/deregister (loopback only) add and remove shard endpoints,
+// and SIGHUP re-reads the shard list (-shards-file when given,
+// otherwise the -shards flag value) and reconciles the fleet against
+// it. POST /v1/ingest proxies to the shard owning the rightmost column
+// band, so the fleet ingests at the time axis like a single server.
+//
 // SIGINT/SIGTERM drains in-flight requests for up to -grace and exits
 // 0 on a clean drain.
 package main
@@ -38,12 +45,14 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
-		shards   = flag.String("shards", "", "comma-separated shard base URLs (required; same URL twice = error, same column range twice = replicas)")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs (required unless -shards-file; same URL twice = error, same column range twice = replicas)")
+		shardsFn = flag.String("shards-file", "", "file of shard base URLs (newline/comma-separated); re-read and reconciled on SIGHUP")
 
 		partialDeny = flag.Bool("partial-deny", false, "default to refusing partial answers (503) when a shard is down; per-query ?partial= overrides")
 
-		probeEvery   = flag.Duration("probe-interval", 250*time.Millisecond, "active health-probe period")
+		probeEvery   = flag.Duration("probe-interval", 250*time.Millisecond, "active health-probe period (jittered ±10%)")
 		probeTimeout = flag.Duration("probe-timeout", 0, "one probe round trip (0 = probe interval)")
+		probeJitter  = flag.Uint64("probe-jitter-seed", 0, "seed for the probe-period jitter stream (give each coordinator its own)")
 		ejectAfter   = flag.Int("eject-after", 3, "consecutive failures before a healthy shard is ejected")
 		readmitAfter = flag.Int("readmit-after", 2, "consecutive probe successes from dead to probation, and again from probation to healthy")
 		hedgeDelay   = flag.Duration("hedge-delay", 30*time.Millisecond, "straggler wait before hedging a sub-query to a replica")
@@ -54,8 +63,8 @@ func main() {
 		grace      = flag.Duration("grace", 10*time.Second, "drain timeout on SIGTERM/SIGINT")
 	)
 	flag.Parse()
-	if *shards == "" {
-		fmt.Fprintln(os.Stderr, "tabmine-coord: -shards is required")
+	if *shards == "" && *shardsFn == "" {
+		fmt.Fprintln(os.Stderr, "tabmine-coord: -shards or -shards-file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,17 +73,14 @@ func main() {
 	ctx, stop := runctx.WithSignals(0)
 	defer stop()
 
-	var endpoints []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			endpoints = append(endpoints, strings.TrimRight(u, "/"))
-		}
-	}
+	endpoints, err := loadShardList(*shards, *shardsFn)
+	fatal(err)
 	c, err := coord.New(coord.Config{
 		Endpoints:      endpoints,
 		PartialDeny:    *partialDeny,
 		ProbeInterval:  *probeEvery,
 		ProbeTimeout:   *probeTimeout,
+		JitterSeed:     *probeJitter,
 		EjectAfter:     *ejectAfter,
 		ReadmitAfter:   *readmitAfter,
 		HedgeDelay:     *hedgeDelay,
@@ -89,6 +95,29 @@ func main() {
 	} else {
 		logger.Printf("fleet not (yet) complete: %d shards configured, probing", len(endpoints))
 	}
+
+	// SIGHUP reconciles membership back to the configured list: re-read
+	// -shards-file (or re-apply -shards) and register/deregister the
+	// difference. Removed endpoints are fenced immediately and drained in
+	// the background.
+	hup, stopHup := runctx.Hangup()
+	defer stopHup()
+	go func() {
+		for range hup {
+			urls, err := loadShardList(*shards, *shardsFn)
+			if err != nil {
+				logger.Printf("SIGHUP: %v (fleet unchanged)", err)
+				continue
+			}
+			added, removed, err := c.SetEndpoints(urls)
+			if err != nil {
+				logger.Printf("SIGHUP: reconcile: %v", err)
+				continue
+			}
+			logger.Printf("SIGHUP: shard list re-read: %d endpoints, added %v, removed %v",
+				len(urls), added, removed)
+		}
+	}()
 
 	l, err := net.Listen("tcp", *addr)
 	fatal(err)
@@ -116,6 +145,34 @@ func main() {
 		fatal(err)
 	}
 	logger.Printf("drained cleanly")
+}
+
+// loadShardList resolves the shard URL list: from file when -shards-file
+// is set (newline- or comma-separated, # comments), else from -shards.
+func loadShardList(flagVal, file string) ([]string, error) {
+	raw := flagVal
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("read shards file: %w", err)
+		}
+		raw = string(data)
+	}
+	var endpoints []string
+	for _, line := range strings.Split(raw, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, u := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == '\r' || r == ' ' || r == '\t'
+		}) {
+			endpoints = append(endpoints, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("empty shard list")
+	}
+	return endpoints, nil
 }
 
 func fatal(err error) {

@@ -100,6 +100,7 @@ func main() {
 		degradeAt   = flag.Float64("degrade-at", 0, "occupancy fraction above which auto queries degrade (0 = 0.75)")
 		exactBudget = flag.Duration("exact-budget", 0, "min remaining deadline for the exact path (0 = 20ms)")
 		grace       = flag.Duration("grace", 10*time.Second, "drain timeout on SIGTERM/SIGINT")
+		lameduck    = flag.Duration("lameduck", 0, "on SIGTERM/SIGINT, withdraw readiness (503 /readyz, not-ready /v1/shardinfo) and keep answering queries this long before draining — lets a coordinator route around this shard first")
 
 		windowDays = flag.Int("window-days", 0, "store mode: sliding window over the time axis, in days (0 = unbounded)")
 		panelCols  = flag.Int("panel-cols", 32, "store mode: panel width for incremental pool maintenance")
@@ -284,6 +285,11 @@ func main() {
 	case err := <-serveErr:
 		fatal(err) // listener failure before any signal
 	case <-ctx.Done():
+	}
+	if *lameduck > 0 {
+		logger.Printf("lame duck: readiness withdrawn for %v", *lameduck)
+		srv.BeginDrain()
+		time.Sleep(*lameduck)
 	}
 	logger.Printf("draining (grace %v)", *grace)
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)

@@ -18,11 +18,32 @@ import (
 
 func waitState(t *testing.T, f *fleet, shard int, want State) {
 	t.Helper()
-	ep := f.coord.endpoints[shard]
+	waitStateURL(t, f.coord, f.shards[shard].url(), want)
+}
+
+// waitStateURL polls for an endpoint (by URL) to reach the wanted
+// state, re-resolving through memberSnapshot each round so it stays
+// correct while register/deregister mutates the fleet under it.
+func waitStateURL(t *testing.T, c *Coordinator, url string, want State) {
+	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	for ep.currentState() != want {
+	for {
+		var got State
+		found := false
+		for _, ep := range c.memberSnapshot() {
+			if ep.url == url {
+				got, found = ep.currentState(), true
+				break
+			}
+		}
+		if found && got == want {
+			return
+		}
 		if time.Now().After(deadline) {
-			t.Fatalf("endpoint %d stuck in %v, want %v", shard, ep.currentState(), want)
+			if !found {
+				t.Fatalf("endpoint %s not in fleet, want %v", url, want)
+			}
+			t.Fatalf("endpoint %s stuck in %v, want %v", url, got, want)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -27,10 +27,14 @@ package coord
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -113,6 +117,13 @@ type Config struct {
 	// multiply into retry storms).
 	SubAttempts int
 
+	// JitterSeed seeds the probe-period jitter stream: every wait
+	// between probe rounds draws from [0.9, 1.1)×ProbeInterval, so
+	// multiple coordinators fronting one fleet spread their probe storms
+	// instead of synchronizing them. Seeded (PCG), so one coordinator's
+	// schedule is still fully deterministic; 0 is a valid seed.
+	JitterSeed uint64
+
 	// OnStateChange observes endpoint health transitions (test hook;
 	// called from the prober goroutine and the serving path).
 	OnStateChange func(endpoint string, from, to State)
@@ -175,9 +186,17 @@ func (r *shardRange) contains(c0, c1 int) bool {
 
 // shardMap is the immutable routing state one request resolves once:
 // the global geometry, the merge-compatible sketch parameters, and the
-// column ranges in ascending order. The prober swaps whole maps
-// atomically, exactly like the server swaps snapshots.
+// column ranges in ascending order. The prober and the membership ops
+// swap whole maps atomically, exactly like the server swaps snapshots.
 type shardMap struct {
+	// epoch stamps this routing state: it increments every time the
+	// swapped-in map differs from its predecessor (membership change,
+	// BaseCol move, replica set change) and is echoed on every answer
+	// in the X-Tabmine-Epoch header, so a drill under live traffic can
+	// prove a cutover happened and a client can correlate an answer
+	// with the fleet state that produced it.
+	epoch int64
+
 	rows, cols         int // global table dims
 	tileRows, tileCols int
 	clusters           int // min across shards; 0 disables /v1/assign
@@ -193,6 +212,13 @@ type shardMap struct {
 	// maps still serve queries that fit the known ranges; /readyz gates
 	// on completeness.
 	complete bool
+	// gaps are the column spans of [0, cols) no range covers. A dead
+	// endpoint keeps its last-known placement, so ordinary outages never
+	// create gaps — deregistering a band's only endpoint does. Gap
+	// columns must surface as Missing tags (or deny→503), never as a
+	// silently narrowed answer: that would be the unflagged-wrong
+	// failure mode this layer exists to rule out.
+	gaps [][2]int
 }
 
 func (m *shardMap) gridRows() int { return m.rows / m.tileRows }
@@ -209,17 +235,39 @@ func (m *shardMap) rangeIdxFor(c0, c1 int) int {
 	return -1
 }
 
+// inGap reports whether [c0, c1) touches a column span no known shard
+// covers — the difference between "spans two shards" (a client error,
+// 400) and "covers columns the fleet lost" (an availability problem,
+// 503 + Retry-After: registering a replacement can fix it).
+func (m *shardMap) inGap(c0, c1 int) bool {
+	for _, g := range m.gaps {
+		if c0 < g[1] && c1 > g[0] {
+			return true
+		}
+	}
+	return false
+}
+
 // Coordinator fans queries out over the shard fleet and merges the
 // answers. Safe for concurrent use.
 type Coordinator struct {
-	cfg       Config
-	endpoints []*endpoint
-	mp        atomic.Pointer[shardMap]
-	rr        atomic.Uint64 // round-robin seed for replica selection
+	cfg Config
 
-	probeHTTP *http.Client
-	stop      chan struct{}
-	stopped   chan struct{}
+	// mu guards endpoints (the membership list) and serializes shard-map
+	// rebuilds; the request path never takes it — requests resolve the
+	// atomic map pointer once and run against that immutable state.
+	mu        sync.Mutex
+	endpoints []*endpoint
+
+	mp    atomic.Pointer[shardMap]
+	epoch atomic.Int64  // allocator for shardMap.epoch; monotone
+	rr    atomic.Uint64 // round-robin seed for replica selection
+
+	probeHTTP  *http.Client
+	ingestHTTP *http.Client // non-retrying ingest proxy transport
+	probeKick  chan struct{}
+	stop       chan struct{}
+	stopped    chan struct{}
 
 	mux *http.ServeMux
 	hs  *http.Server
@@ -230,17 +278,20 @@ type Coordinator struct {
 // waiting out a probe period), builds the initial shard map from
 // whatever answered, and starts the prober. An unreachable fleet is
 // not an error — the coordinator starts in the not-ready state and
-// admits shards as probes succeed.
+// admits shards as probes succeed. The fleet is mutable at runtime:
+// see Register, Deregister, and SetEndpoints.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Endpoints) == 0 {
 		return nil, fmt.Errorf("coord: at least one shard endpoint required")
 	}
 	cfg.setDefaults()
 	c := &Coordinator{
-		cfg:       cfg,
-		probeHTTP: &http.Client{Timeout: cfg.ProbeTimeout},
-		stop:      make(chan struct{}),
-		stopped:   make(chan struct{}),
+		cfg:        cfg,
+		probeHTTP:  &http.Client{Timeout: cfg.ProbeTimeout},
+		ingestHTTP: &http.Client{},
+		probeKick:  make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 	seen := map[string]bool{}
 	for _, u := range cfg.Endpoints {
@@ -248,25 +299,234 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("coord: duplicate endpoint %q", u)
 		}
 		seen[u] = true
-		cl, err := client.New(client.Config{
-			BaseURL:     u,
-			MaxAttempts: cfg.SubAttempts,
-			BaseDelay:   5 * time.Millisecond,
-			MaxDelay:    100 * time.Millisecond,
-			Budget:      cfg.MaxTimeout,
-			Logf:        cfg.Logf,
-		})
+		ep, err := c.newEndpoint(u)
 		if err != nil {
-			return nil, fmt.Errorf("coord: endpoint %q: %w", u, err)
+			return nil, err
 		}
-		ep := &endpoint{url: u, cl: cl}
-		ep.state = StateDead // until the first probe says otherwise
 		c.endpoints = append(c.endpoints, ep)
 	}
 	c.probeRound(true)
 	c.buildMux()
 	go c.probeLoop()
 	return c, nil
+}
+
+// newEndpoint builds the per-endpoint state (retrying sub-query client,
+// dead-until-probed health) shared by New and Register.
+func (c *Coordinator) newEndpoint(u string) (*endpoint, error) {
+	cl, err := client.New(client.Config{
+		BaseURL:     u,
+		MaxAttempts: c.cfg.SubAttempts,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Budget:      c.cfg.MaxTimeout,
+		Logf:        c.cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coord: endpoint %q: %w", u, err)
+	}
+	ep := &endpoint{url: u, cl: cl}
+	ep.state = StateDead // until the first probe says otherwise
+	return ep, nil
+}
+
+// memberSnapshot copies the membership list for lock-free iteration.
+func (c *Coordinator) memberSnapshot() []*endpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*endpoint(nil), c.endpoints...)
+}
+
+// Membership errors, distinguishable by the admin HTTP layer.
+var (
+	ErrDuplicateEndpoint = errors.New("endpoint already registered")
+	ErrUnknownEndpoint   = errors.New("endpoint not registered")
+)
+
+// normalizeEndpoint canonicalizes a shard base URL the way the -shards
+// flag parsing does (trailing slash stripped), and rejects anything
+// that is not an absolute http(s) URL — an admin typo must fail the
+// register call, not sit in the fleet as a permanently dead member.
+func normalizeEndpoint(u string) (string, error) {
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	pu, err := url.Parse(u)
+	if err != nil || (pu.Scheme != "http" && pu.Scheme != "https") || pu.Host == "" {
+		return "", fmt.Errorf("coord: bad endpoint %q (want http[s]://host:port)", u)
+	}
+	return u, nil
+}
+
+// Register adds a shard endpoint to the fleet at runtime. The endpoint
+// starts dead and earns traffic through the same probe/probation
+// machine every endpoint uses — registration is an invitation, not an
+// admission — so a replacement shard is validated (reachable, ready,
+// merge-compatible) before it ever serves a sub-query. A probe round is
+// kicked immediately; the returned epoch is the shard map's current
+// epoch (it advances when the newcomer actually enters the map).
+func (c *Coordinator) Register(u string) (epoch int64, err error) {
+	u, err = normalizeEndpoint(u)
+	if err != nil {
+		return c.epoch.Load(), err
+	}
+	c.mu.Lock()
+	for _, ep := range c.endpoints {
+		if ep.url == u {
+			c.mu.Unlock()
+			return c.epoch.Load(), fmt.Errorf("%w: %s", ErrDuplicateEndpoint, u)
+		}
+	}
+	ep, err := c.newEndpoint(u)
+	if err != nil {
+		c.mu.Unlock()
+		return c.epoch.Load(), err
+	}
+	c.endpoints = append(c.endpoints, ep)
+	c.refreshMapLocked()
+	c.mu.Unlock()
+	mRegisters.Add(1)
+	c.updateEndpointGauges()
+	c.cfg.Logf("coord: registered endpoint %s (dead until probed)", u)
+	c.kickProbe()
+	return c.epoch.Load(), nil
+}
+
+// Deregister removes endpoint u from the fleet. The removal is fenced
+// before it is drained: the endpoint's draining flag flips first (so
+// requests holding an already-resolved map stop selecting it for NEW
+// sub-queries), then the shard map rebuilds without it at a bumped
+// epoch. With drain, Deregister then blocks until every in-flight
+// sub-query against the endpoint has finished (or ctx expires — the
+// endpoint stays deregistered either way; only the wait fails). The
+// caller may tear the shard process down once Deregister returns nil.
+func (c *Coordinator) Deregister(ctx context.Context, u string, drain bool) (epoch int64, err error) {
+	u, err = normalizeEndpoint(u)
+	if err != nil {
+		return c.epoch.Load(), err
+	}
+	c.mu.Lock()
+	idx := -1
+	for i, ep := range c.endpoints {
+		if ep.url == u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return c.epoch.Load(), fmt.Errorf("%w: %s", ErrUnknownEndpoint, u)
+	}
+	ep := c.endpoints[idx]
+	ep.draining.Store(true) // fence: no new sub-queries, even from maps resolved before the swap
+	c.endpoints = append(c.endpoints[:idx:idx], c.endpoints[idx+1:]...)
+	c.refreshMapLocked()
+	c.mu.Unlock()
+	mDeregisters.Add(1)
+	c.updateEndpointGauges()
+	epoch = c.epoch.Load()
+	if !drain {
+		c.cfg.Logf("coord: deregistered endpoint %s (no drain)", u)
+		return epoch, nil
+	}
+	if err := c.awaitDrain(ctx, ep); err != nil {
+		c.cfg.Logf("coord: deregistered endpoint %s at epoch %d, drain incomplete: %v", u, epoch, err)
+		return epoch, err
+	}
+	c.cfg.Logf("coord: deregistered endpoint %s at epoch %d (drained)", u, epoch)
+	return epoch, nil
+}
+
+// awaitDrain waits until ep has no in-flight sub-queries. It requires
+// two consecutive zero observations one tick apart: a sub-query that
+// resolved the pre-fence map but had not yet incremented the in-flight
+// count cannot slip between a single check and the caller tearing the
+// shard down.
+func (c *Coordinator) awaitDrain(ctx context.Context, ep *endpoint) error {
+	zeros := 0
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		if ep.inflight.Load() == 0 {
+			if zeros++; zeros >= 2 {
+				return nil
+			}
+		} else {
+			zeros = 0
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain of %s: %d sub-queries still in flight: %w",
+				ep.url, ep.inflight.Load(), ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// SetEndpoints reconciles the fleet against urls — the SIGHUP "-shards
+// re-read" path: URLs not yet in the fleet register, members not in
+// urls deregister. Removed endpoints are fenced immediately but drained
+// in the background (bounded by MaxTimeout): a signal handler has no
+// caller to block on the wait. An empty or unparsable list changes
+// nothing and errors — a truncated shards file must not empty a
+// serving fleet.
+func (c *Coordinator) SetEndpoints(urls []string) (added, removed []string, err error) {
+	want := map[string]bool{}
+	for _, u := range urls {
+		nu, nerr := normalizeEndpoint(u)
+		if nerr != nil {
+			return nil, nil, nerr
+		}
+		want[nu] = true
+	}
+	if len(want) == 0 {
+		return nil, nil, fmt.Errorf("coord: refusing to deregister every endpoint")
+	}
+	have := map[string]bool{}
+	for _, ep := range c.memberSnapshot() {
+		have[ep.url] = true
+	}
+	for u := range want {
+		if !have[u] {
+			if _, rerr := c.Register(u); rerr != nil {
+				return added, removed, rerr
+			}
+			added = append(added, u)
+		}
+	}
+	for u := range have {
+		if !want[u] {
+			removed = append(removed, u)
+			go func(u string) {
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.MaxTimeout)
+				defer cancel()
+				c.Deregister(ctx, u, true) //nolint:errcheck // logged inside
+			}(u)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed, nil
+}
+
+// Epoch reports the current shard-map epoch (0 before any map).
+func (c *Coordinator) Epoch() int64 { return c.epoch.Load() }
+
+// updateEndpointGauges recounts the fleet into the
+// tabmine_coord_endpoints{healthy,probation,dead} gauges.
+func (c *Coordinator) updateEndpointGauges() {
+	var healthy, probation, dead int64
+	for _, ep := range c.memberSnapshot() {
+		switch ep.currentState() {
+		case StateHealthy:
+			healthy++
+		case StateProbation:
+			probation++
+		default:
+			dead++
+		}
+	}
+	gHealthy.Set(healthy)
+	gProbation.Set(probation)
+	gDead.Set(dead)
 }
 
 // Close stops the prober. In-flight requests finish normally.
@@ -318,6 +578,14 @@ func (c *Coordinator) Ready() bool {
 // An inconsistent fleet (mismatched sketch parameters or geometry)
 // keeps the previous map and logs, rather than serving garbage merges.
 func (c *Coordinator) refreshMap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshMapLocked()
+}
+
+// refreshMapLocked is refreshMap's body; c.mu must be held so that a
+// membership change and its map rebuild are one atomic step.
+func (c *Coordinator) refreshMapLocked() {
 	type placed struct {
 		ep   *endpoint
 		info shardInfoSnapshot
@@ -377,11 +645,19 @@ func (c *Coordinator) refreshMap() {
 	for _, r := range m.ranges {
 		if r.baseCol != next {
 			m.complete = false
+			if r.baseCol > next {
+				m.gaps = append(m.gaps, [2]int{next, r.baseCol})
+			}
 		}
-		next = r.baseCol + r.cols
+		if end := r.baseCol + r.cols; end > next {
+			next = end
+		}
 	}
 	if next != m.cols {
 		m.complete = false
+		if next < m.cols {
+			m.gaps = append(m.gaps, [2]int{next, m.cols})
+		}
 	}
 	m.sdist, err = core.NewSketchDist(m.p, m.k, m.estimator)
 	if err != nil {
@@ -394,10 +670,12 @@ func (c *Coordinator) refreshMap() {
 		// scratch pool) instead of churning pointers every probe round.
 		return
 	}
+	m.epoch = c.epoch.Add(1)
 	c.mp.Store(m)
+	mEpoch.Set(m.epoch)
 	mMapReloads.Add(1)
-	c.cfg.Logf("coord: shard map: %d ranges over %dx%d cols, complete=%v",
-		len(m.ranges), m.rows, m.cols, m.complete)
+	c.cfg.Logf("coord: shard map epoch %d: %d ranges over %dx%d cols, complete=%v",
+		m.epoch, len(m.ranges), m.rows, m.cols, m.complete)
 }
 
 func sameMap(a, b *shardMap) bool {
@@ -422,9 +700,15 @@ func sameMap(a, b *shardMap) bool {
 // liveEndpoints returns the range's selectable endpoints: healthy ones
 // first (rotated by rot for load spread), probation ones after — they
 // take traffic, but only as fallback while a healthy replica exists.
+// Draining endpoints are never selectable: the flag is the deregister
+// fence, and it must hold even for requests that resolved a shard map
+// from before the membership change.
 func liveEndpoints(r *shardRange, rot uint64) []*endpoint {
 	var healthy, probation []*endpoint
 	for _, ep := range r.endpoints {
+		if ep.draining.Load() {
+			continue
+		}
 		switch ep.currentState() {
 		case StateHealthy:
 			healthy = append(healthy, ep)

@@ -16,11 +16,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/workload"
@@ -56,14 +58,20 @@ func buildSnap(t testing.TB, tb *table.Table, baseCol int) *server.Snapshot {
 	return sn
 }
 
-// shardProc is one shard server plus a fault switch: down answers every
+// shardProc is one shard server plus fault switches: down answers every
 // request (probes included) with an injected 503, which is how a
 // crashed-but-port-bound or overloaded process looks to the
-// coordinator's health machinery.
+// coordinator's health machinery; kill severs connections mid-flight
+// (the SIGKILL model); gate holds sketch sub-queries open for drain
+// tests; h is swappable, modeling an address reused by a process with a
+// different column placement.
 type shardProc struct {
 	ts   *httptest.Server
 	snap *server.Snapshot
+	h    atomic.Value // http.Handler served behind the fault switches
 	down atomic.Bool
+	kill atomic.Pointer[faultinject.Breaker]
+	gate atomic.Pointer[faultinject.Gate]
 }
 
 func (sp *shardProc) url() string { return sp.ts.URL }
@@ -77,10 +85,52 @@ type fleet struct {
 	ts     *httptest.Server
 }
 
+// spawnShard serves sn behind the fault-switch middleware and appends
+// the proc to f.shards (it does NOT register the endpoint with the
+// coordinator — membership tests do that themselves). scfg configures
+// the underlying server; tests inject Ingestors this way.
+func (f *fleet) spawnShard(t *testing.T, sn *server.Snapshot, scfg server.Config) *shardProc {
+	t.Helper()
+	srv, err := server.New(sn, scfg)
+	if err != nil {
+		t.Fatalf("shard New: %v", err)
+	}
+	sp := &shardProc{snap: sn}
+	sp.h.Store(srv.Handler())
+	sp.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sp.down.Load() {
+			http.Error(w, "injected shard failure", http.StatusServiceUnavailable)
+			return
+		}
+		if b := sp.kill.Load(); b != nil && b.Tripped() {
+			// A probe round in flight when an endpoint is deregistered
+			// may still touch it; probes carry no answers, so only
+			// query/ingest paths count as observed hits on the breaker.
+			if r.URL.Path != "/readyz" && r.URL.Path != "/v1/shardinfo" {
+				b.Hit()
+			}
+			panic(http.ErrAbortHandler) // severed connection, not a clean error
+		}
+		if g := sp.gate.Load(); g != nil && strings.HasPrefix(r.URL.Path, "/v1/sketch") {
+			g.Wait()
+		}
+		sp.h.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(sp.ts.Close)
+	f.shards = append(f.shards, sp)
+	return sp
+}
+
 // newFleet builds the three-shard fixture plus the unsharded reference
 // and a coordinator over the shards. replicate0 adds a second endpoint
 // serving shard 0's snapshot, forming a replica group.
 func newFleet(t *testing.T, cfg Config, replicate0 bool) *fleet {
+	return newFleetSrv(t, cfg, replicate0, func(int) server.Config { return server.Config{} })
+}
+
+// newFleetSrv is newFleet with per-shard server configuration: scfg(i)
+// configures the i-th spawned shard (the replica included).
+func newFleetSrv(t *testing.T, cfg Config, replicate0 bool, scfg func(i int) server.Config) *fleet {
 	t.Helper()
 	f := &fleet{tb: workload.Random(fleetRows, fleetCols, 100, 11)}
 
@@ -92,30 +142,13 @@ func newFleet(t *testing.T, cfg Config, replicate0 bool) *fleet {
 	f.ref = httptest.NewServer(refSrv.Handler())
 	t.Cleanup(f.ref.Close)
 
-	serve := func(sn *server.Snapshot) *shardProc {
-		srv, err := server.New(sn, server.Config{})
-		if err != nil {
-			t.Fatalf("shard New: %v", err)
-		}
-		sp := &shardProc{snap: sn}
-		sp.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if sp.down.Load() {
-				http.Error(w, "injected shard failure", http.StatusServiceUnavailable)
-				return
-			}
-			srv.Handler().ServeHTTP(w, r)
-		}))
-		t.Cleanup(sp.ts.Close)
-		f.shards = append(f.shards, sp)
-		return sp
-	}
 	var urls []string
 	for i := 0; i < fleetCols/shardCols; i++ {
 		sub := f.tb.Sub(table.Rect{R0: 0, C0: i * shardCols, Rows: fleetRows, Cols: shardCols})
 		sn := buildSnap(t, sub, i*shardCols)
-		urls = append(urls, serve(sn).url())
+		urls = append(urls, f.spawnShard(t, sn, scfg(len(f.shards))).url())
 		if i == 0 && replicate0 {
-			urls = append(urls, serve(sn).url())
+			urls = append(urls, f.spawnShard(t, sn, scfg(len(f.shards))).url())
 		}
 	}
 

@@ -20,6 +20,14 @@ import (
 // query parameter: partial=allow|deny overrides the fleet default for
 // one request.
 
+// epochHeader carries the shard-map epoch on every coordinator answer
+// (success or error). It is a header, not a body field, on purpose:
+// answer bodies must stay deterministic functions of (snapshot, query)
+// — a co-resident exact distance through the coordinator is
+// byte-identical to the shard's own answer — and the epoch is a
+// property of the fleet, not of the data.
+const epochHeader = "X-Tabmine-Epoch"
+
 func (c *Coordinator) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", c.handleHealthz)
@@ -31,6 +39,9 @@ func (c *Coordinator) buildMux() {
 	mux.HandleFunc("/v1/batch/distance", c.handleBatch(c.itemDistance))
 	mux.HandleFunc("/v1/batch/nearest", c.handleBatch(c.itemNearest))
 	mux.HandleFunc("/v1/batch/assign", c.handleBatch(c.itemAssign))
+	mux.HandleFunc("/v1/ingest", c.handleIngest)
+	mux.HandleFunc("/admin/register", c.handleAdminRegister)
+	mux.HandleFunc("/admin/deregister", c.handleAdminDeregister)
 	c.mux = mux
 	c.hs = &http.Server{Handler: mux}
 }
@@ -118,6 +129,7 @@ func (c *Coordinator) wrap(fn itemFunc) http.HandlerFunc {
 			c.writeUnavailable(w, "no shard has reported yet, retry later")
 			return
 		}
+		w.Header().Set(epochHeader, strconv.FormatInt(m.epoch, 10))
 		vals := r.URL.Query()
 		mode, err := parseMode(vals)
 		if err != nil {
@@ -225,6 +237,7 @@ func (c *Coordinator) handleBatch(fn itemFunc) http.HandlerFunc {
 			c.writeUnavailable(w, "no shard has reported yet, retry later")
 			return
 		}
+		w.Header().Set(epochHeader, strconv.FormatInt(m.epoch, 10))
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, "batch endpoints accept POST only")
@@ -313,6 +326,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, &server.Health{Status: "booting"})
 		return
 	}
+	w.Header().Set(epochHeader, strconv.FormatInt(m.epoch, 10))
 	status := "ok"
 	if !c.Ready() {
 		status = "degraded"
@@ -322,22 +336,25 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tiles: m.gridRows() * m.gridCols(), Clusters: m.clusters,
 		TileRows: m.tileRows, TileCols: m.tileCols,
 		Reloads: mMapReloads.Value(),
+		Epoch:   m.epoch,
 	})
 }
 
 // handleReadyz gates routing: 200 only when the shard map covers the
 // whole table and every range has a live endpoint.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	epoch := c.epoch.Load()
+	w.Header().Set(epochHeader, strconv.FormatInt(epoch, 10))
 	if !c.Ready() {
 		secs := int((c.cfg.RetryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusServiceUnavailable, &server.Ready{Status: "booting"})
+		writeJSON(w, http.StatusServiceUnavailable, &server.Ready{Status: "booting", Epoch: epoch})
 		return
 	}
-	writeJSON(w, http.StatusOK, &server.Ready{Status: "ready"})
+	writeJSON(w, http.StatusOK, &server.Ready{Status: "ready", Epoch: epoch})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -64,6 +64,37 @@ func localRect(rng *shardRange, r table.Rect) table.Rect {
 // colRange renders a global half-open column span for Missing tags.
 func colRange(c0, c1 int) string { return fmt.Sprintf("%d-%d", c0, c1) }
 
+// staleBase flags a shard that answered for a different column
+// placement than the map expects — a replacement process reusing an
+// address, or a window trim the prober has not observed yet. The
+// answer is fenced, never merged (merging sketches from the wrong
+// columns is exactly the unflagged-wrong failure the epoch fence
+// exists to prevent); as a non-StatusError it counts as an endpoint
+// fault, so subQuery strikes the endpoint and fails over.
+func staleBase(epURL string, got int, rng *shardRange) error {
+	return fmt.Errorf("shard %s answered for base_col %d but the map places it at %d (stale placement fenced)",
+		epURL, got, rng.baseCol)
+}
+
+// missingSpans collects the global column spans a merged answer did not
+// consult: ranges with no reachable endpoint plus map gaps (columns no
+// registered shard covers at all — a deregistered sole owner). Sorted
+// by span start so tags are stable.
+func missingSpans(m *shardMap, missingIdx []int) []string {
+	spans := make([][2]int, 0, len(missingIdx)+len(m.gaps))
+	for _, i := range missingIdx {
+		rng := m.ranges[i]
+		spans = append(spans, [2]int{rng.baseCol, rng.baseCol + rng.cols})
+	}
+	spans = append(spans, m.gaps...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	out := make([]string, 0, len(spans))
+	for _, s := range spans {
+		out = append(out, colRange(s[0], s[1]))
+	}
+	return out
+}
+
 // --- distance ---
 
 func (c *Coordinator) opDistance(ctx context.Context, m *shardMap, a, b table.Rect, mode string, allowPartial bool) (any, error) {
@@ -95,6 +126,9 @@ func (c *Coordinator) opDistance(ctx context.Context, m *shardMap, a, b table.Re
 		return &DistanceResult{DistanceResult: *res}, nil
 	}
 	if mode == server.ModeExact {
+		if m.inGap(a.C0, a.C0+a.Cols) || m.inGap(b.C0, b.C0+b.Cols) {
+			return nil, unavailablef("no shard known for some columns of %v/%v; register a replacement", a, b)
+		}
 		return nil, fmt.Errorf("mode=exact needs both rectangles on one shard (a on shard %d, b on shard %d); use mode=sketch for cross-shard distances", ia, ib)
 	}
 	reason := server.ReasonRequested
@@ -168,7 +202,11 @@ func (c *Coordinator) sketchDistance(ctx context.Context, m *shardMap, a, b tabl
 		}
 		rng := m.ranges[i]
 		res, err := subQuery(c, sub, rng, func(qctx context.Context, ep *endpoint) (*server.SketchResult, error) {
-			return ep.cl.Sketch(qctx, localRect(rng, r), timeout)
+			res, err := ep.cl.Sketch(qctx, localRect(rng, r), timeout)
+			if err == nil && res.BaseCol != rng.baseCol {
+				return nil, staleBase(ep.url, res.BaseCol, rng)
+			}
+			return res, err
 		})
 		if err != nil {
 			*errDst = err
@@ -281,11 +319,19 @@ func (m *shardMap) globalTileRect(idx int) table.Rect {
 func (c *Coordinator) querySketch(ctx context.Context, m *shardMap, q table.Rect, timeout time.Duration) (*shardRange, []float64, error) {
 	i := m.rangeIdxFor(q.C0, q.C0+q.Cols)
 	if i < 0 {
+		if m.inGap(q.C0, q.C0+q.Cols) {
+			return nil, nil, unavailablef("no shard known for cols %s; register a replacement",
+				colRange(q.C0, q.C0+q.Cols))
+		}
 		return nil, nil, fmt.Errorf("query rect %v spans a shard boundary", q)
 	}
 	rng := m.ranges[i]
 	res, err := subQuery(c, ctx, rng, func(qctx context.Context, ep *endpoint) (*server.SketchResult, error) {
-		return ep.cl.Sketch(qctx, localRect(rng, q), timeout)
+		res, err := ep.cl.Sketch(qctx, localRect(rng, q), timeout)
+		if err == nil && res.BaseCol != rng.baseCol {
+			return nil, staleBase(ep.url, res.BaseCol, rng)
+		}
+		return res, err
 	})
 	if err != nil {
 		if qe := queryErr(err); qe != nil {
@@ -329,10 +375,17 @@ func (c *Coordinator) fanBest(ctx context.Context, m *shardMap, owner *shardRang
 				req.Exclude = server.FormatRect(localRect(rng, q))
 			}
 			res, err := subQuery(c, ctx, rng, func(qctx context.Context, ep *endpoint) (*server.SketchBest, error) {
+				var res *server.SketchBest
+				var err error
 				if assign {
-					return ep.cl.SketchAssign(qctx, req, timeout)
+					res, err = ep.cl.SketchAssign(qctx, req, timeout)
+				} else {
+					res, err = ep.cl.SketchNearest(qctx, req, timeout)
 				}
-				return ep.cl.SketchNearest(qctx, req, timeout)
+				if err == nil && res.BaseCol != rng.baseCol {
+					return nil, staleBase(ep.url, res.BaseCol, rng)
+				}
+				return res, err
 			})
 			if err != nil {
 				bests[i] = shardBest{rngIdx: i, err: err}
@@ -371,10 +424,12 @@ func (c *Coordinator) opNearest(ctx context.Context, m *shardMap, q table.Rect, 
 	if err := c.checkTileSized(m, q); err != nil {
 		return nil, err
 	}
-	if len(m.ranges) == 1 {
+	if len(m.ranges) == 1 && len(m.gaps) == 0 {
 		// Whole table on one shard (possibly replicated): proxy any
 		// mode verbatim and translate indices (identity when the shard
-		// starts at column 0).
+		// starts at column 0). With gaps the lone survivor does NOT get
+		// this path: its answer would ignore the lost columns without
+		// saying so — it must go through the merge and come back tagged.
 		rng := m.ranges[0]
 		sub, cancel, _ := c.subDeadline(ctx)
 		defer cancel()
@@ -411,8 +466,9 @@ func (c *Coordinator) opNearest(ctx context.Context, m *shardMap, q table.Rect, 
 		}
 	}
 	best, missingIdx, found := mergeBests(bests)
-	if len(missingIdx) > 0 && !allowPartial {
-		return nil, unavailablef("%d of %d shards unreachable and partial=deny", len(missingIdx), len(m.ranges))
+	missing := missingSpans(m, missingIdx)
+	if len(missing) > 0 && !allowPartial {
+		return nil, unavailablef("cols %v unreachable and partial=deny", missing)
 	}
 	if !found {
 		return nil, unavailablef("no shard reachable for nearest(%v)", q)
@@ -421,12 +477,9 @@ func (c *Coordinator) opNearest(ctx context.Context, m *shardMap, q table.Rect, 
 		Tile: best.tile, Rect: server.FormatRect(m.globalTileRect(best.tile)),
 		Distance: best.dist, Tier: server.TierSketch, Reason: reason,
 	}}
-	if len(missingIdx) > 0 {
+	if len(missing) > 0 {
 		res.Partial = true
-		for _, i := range missingIdx {
-			rng := m.ranges[i]
-			res.Missing = append(res.Missing, colRange(rng.baseCol, rng.baseCol+rng.cols))
-		}
+		res.Missing = missing
 		res.Degraded = true
 		res.Reason = ReasonPartial
 	}
@@ -440,7 +493,7 @@ func (c *Coordinator) opAssign(ctx context.Context, m *shardMap, q table.Rect, m
 	if err := c.checkTileSized(m, q); err != nil {
 		return nil, err
 	}
-	if len(m.ranges) == 1 {
+	if len(m.ranges) == 1 && len(m.gaps) == 0 {
 		rng := m.ranges[0]
 		sub, cancel, _ := c.subDeadline(ctx)
 		defer cancel()
@@ -476,8 +529,9 @@ func (c *Coordinator) opAssign(ctx context.Context, m *shardMap, q table.Rect, m
 		}
 	}
 	best, missingIdx, found := mergeBests(bests)
-	if len(missingIdx) > 0 && !allowPartial {
-		return nil, unavailablef("%d of %d shards unreachable and partial=deny", len(missingIdx), len(m.ranges))
+	missing := missingSpans(m, missingIdx)
+	if len(missing) > 0 && !allowPartial {
+		return nil, unavailablef("cols %v unreachable and partial=deny", missing)
 	}
 	if !found {
 		return nil, unavailablef("no shard reachable for assign(%v)", q)
@@ -489,12 +543,9 @@ func (c *Coordinator) opAssign(ctx context.Context, m *shardMap, q table.Rect, m
 		},
 		Shard: best.rngIdx,
 	}
-	if len(missingIdx) > 0 {
+	if len(missing) > 0 {
 		res.Partial = true
-		for _, i := range missingIdx {
-			rng := m.ranges[i]
-			res.Missing = append(res.Missing, colRange(rng.baseCol, rng.baseCol+rng.cols))
-		}
+		res.Missing = missing
 		res.Degraded = true
 		res.Reason = ReasonPartial
 	}

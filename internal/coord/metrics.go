@@ -20,7 +20,25 @@ var (
 	mHedges     = expvar.NewInt("tabmine_coord_hedges")
 	mHedgeWins  = expvar.NewInt("tabmine_coord_hedge_wins")
 	mMapReloads = expvar.NewInt("tabmine_coord_shardmap_reloads")
+
+	// Membership observability: the current shard-map epoch, fleet
+	// composition by health state, and how often the fleet was edited.
+	mEpoch         = expvar.NewInt("tabmine_coord_epoch")
+	mRegisters     = expvar.NewInt("tabmine_coord_registers")
+	mDeregisters   = expvar.NewInt("tabmine_coord_deregisters")
+	mIngestProxied = expvar.NewInt("tabmine_coord_ingest_proxied")
+
+	mEndpoints = expvar.NewMap("tabmine_coord_endpoints")
+	gHealthy   = new(expvar.Int)
+	gProbation = new(expvar.Int)
+	gDead      = new(expvar.Int)
 )
+
+func init() {
+	mEndpoints.Set("healthy", gHealthy)
+	mEndpoints.Set("probation", gProbation)
+	mEndpoints.Set("dead", gDead)
+}
 
 // Stats is a point-in-time read of the coordinator counters.
 type Stats struct {
@@ -34,6 +52,15 @@ type Stats struct {
 	Hedges       int64 // hedged sub-queries fired
 	HedgeWins    int64 // hedges that produced the winning answer
 	MapReloads   int64 // shard-map rebuilds that changed the map
+
+	Epoch         int64 // current shard-map epoch
+	Registers     int64 // runtime endpoint registrations
+	Deregisters   int64 // runtime endpoint deregistrations
+	IngestProxied int64 // ingest requests proxied to the owning shard
+
+	EndpointsHealthy   int64
+	EndpointsProbation int64
+	EndpointsDead      int64
 }
 
 // ReadStats samples the process-global counters.
@@ -49,5 +76,14 @@ func ReadStats() Stats {
 		Hedges:       mHedges.Value(),
 		HedgeWins:    mHedgeWins.Value(),
 		MapReloads:   mMapReloads.Value(),
+
+		Epoch:         mEpoch.Value(),
+		Registers:     mRegisters.Value(),
+		Deregisters:   mDeregisters.Value(),
+		IngestProxied: mIngestProxied.Value(),
+
+		EndpointsHealthy:   gHealthy.Value(),
+		EndpointsProbation: gProbation.Value(),
+		EndpointsDead:      gDead.Value(),
 	}
 }

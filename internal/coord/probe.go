@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -42,6 +44,14 @@ type shardInfoSnapshot struct {
 type endpoint struct {
 	url string
 	cl  *client.Client // retrying sub-query client
+
+	// draining is the deregister fence: once set, liveEndpoints never
+	// selects this endpoint again, even for requests still holding a
+	// shard map from before the membership change. inflight counts
+	// launched sub-queries (and proxied ingests) so Deregister can wait
+	// for the tail to finish before the shard is torn down.
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	state   State
@@ -156,15 +166,43 @@ func (c *Coordinator) noteProbeOK(ep *endpoint, boot bool) {
 
 func (c *Coordinator) probeLoop() {
 	defer close(c.stopped)
-	t := time.NewTicker(c.cfg.ProbeInterval)
+	// Jittered probe period: each wait draws from [0.9, 1.1)×ProbeInterval
+	// so multiple coordinators fronting one fleet spread their probe
+	// storms instead of locking step. Seeded PCG keeps one coordinator's
+	// schedule deterministic and testable.
+	rng := rand.New(rand.NewPCG(c.cfg.JitterSeed, 0x70726f6265)) // "probe"
+	t := time.NewTimer(jitteredInterval(c.cfg.ProbeInterval, rng))
 	defer t.Stop()
 	for {
 		select {
 		case <-c.stop:
 			return
 		case <-t.C:
-			c.probeRound(false)
+		case <-c.probeKick:
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
 		}
+		c.probeRound(false)
+		t.Reset(jitteredInterval(c.cfg.ProbeInterval, rng))
+	}
+}
+
+// jitteredInterval draws one probe wait from [0.9, 1.1)×base.
+func jitteredInterval(base time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(base) * (0.9 + 0.2*rng.Float64()))
+}
+
+// kickProbe nudges the prober to run a round now (registration wants
+// the newcomer probed immediately, not after a probe period). Non-
+// blocking: a kick while one is pending is already covered.
+func (c *Coordinator) kickProbe() {
+	select {
+	case c.probeKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -172,7 +210,7 @@ func (c *Coordinator) probeLoop() {
 // and refreshes the shard map from the latest self-descriptions.
 func (c *Coordinator) probeRound(boot bool) {
 	var wg sync.WaitGroup
-	for _, ep := range c.endpoints {
+	for _, ep := range c.memberSnapshot() {
 		wg.Add(1)
 		go func(ep *endpoint) {
 			defer wg.Done()
@@ -185,6 +223,7 @@ func (c *Coordinator) probeRound(boot bool) {
 	}
 	wg.Wait()
 	c.refreshMap()
+	c.updateEndpointGauges()
 }
 
 // probeOne is a single un-retried health check: GET /readyz (the
@@ -276,8 +315,10 @@ func subQuery[T any](c *Coordinator, ctx context.Context, rng *shardRange, fn fu
 		next++
 		inflight++
 		mShardRequests.Add(ep.url, 1)
+		ep.inflight.Add(1) // drain accounting; decremented when fn returns
 		go func() {
 			v, err := fn(cctx, ep)
+			ep.inflight.Add(-1)
 			ch <- result{v, err, ep, hedge}
 		}()
 	}

@@ -224,3 +224,35 @@ func Nth(seed uint64, i, max int) int {
 	x ^= x >> 31
 	return int(x%uint64(max)) + 1
 }
+
+// Breaker is a switchable hard-failure injector for HTTP middleware: a
+// tripped breaker models a SIGKILLed process — requests do not answer
+// with a clean error, they abort mid-flight (the middleware panics
+// with http.ErrAbortHandler, which Go's server turns into a severed
+// connection). Trip/Reset make the kill and the replacement process
+// deterministic script steps inside one test binary.
+type Breaker struct {
+	tripped atomic.Bool
+	hits    atomic.Int64
+}
+
+// Trip makes every subsequent Hit report true (the process is "dead").
+func (b *Breaker) Trip() { b.tripped.Store(true) }
+
+// Reset restores the breaker ("a replacement process is up").
+func (b *Breaker) Reset() { b.tripped.Store(false) }
+
+// Tripped reports the breaker state without recording a hit.
+func (b *Breaker) Tripped() bool { return b.tripped.Load() }
+
+// Hit records one arrival and reports whether it should be killed.
+func (b *Breaker) Hit() bool {
+	if !b.tripped.Load() {
+		return false
+	}
+	b.hits.Add(1)
+	return true
+}
+
+// Hits reports how many arrivals hit a tripped breaker.
+func (b *Breaker) Hits() int64 { return b.hits.Load() }

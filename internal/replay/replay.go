@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,23 +172,30 @@ type Percentiles struct {
 
 // Report is the JSON result of one replay run.
 type Report struct {
-	Op             string      `json:"op"` // "mixed" under an Ops mixture
-	Ops            []OpWeight  `json:"ops,omitempty"`
-	Target         string      `json:"target"`
-	Mode           string      `json:"mode"`
-	Batch          int         `json:"batch"`
-	TargetRate     float64     `json:"target_rate_qps"`
-	Seed           uint64      `json:"seed"`
-	Tiles          int         `json:"tiles"` // distinct tiles in the popularity law
-	Queries        int         `json:"queries"`
-	Requests       int64       `json:"requests"`  // HTTP requests issued
-	Served         int64       `json:"served"`    // queries answered 2xx
-	Shed           int64       `json:"shed"`      // queries shed with 503
-	TimedOut       int64       `json:"timed_out"` // queries failing with 504
-	Errors         int64       `json:"errors"`    // other failures (per-item or transport)
-	Overflow       int64       `json:"overflow"`  // queries dropped at the open-loop cap
-	Degraded       int64       `json:"degraded"`  // served queries answered on a degraded tier
-	Partial        int64       `json:"partial"`   // served queries tagged with missing shard coverage (coord target)
+	Op         string     `json:"op"` // "mixed" under an Ops mixture
+	Ops        []OpWeight `json:"ops,omitempty"`
+	Target     string     `json:"target"`
+	Mode       string     `json:"mode"`
+	Batch      int        `json:"batch"`
+	TargetRate float64    `json:"target_rate_qps"`
+	Seed       uint64     `json:"seed"`
+	Tiles      int        `json:"tiles"` // distinct tiles in the popularity law
+	Queries    int        `json:"queries"`
+	Requests   int64      `json:"requests"`  // HTTP requests issued
+	Served     int64      `json:"served"`    // queries answered 2xx
+	Shed       int64      `json:"shed"`      // queries shed with 503
+	TimedOut   int64      `json:"timed_out"` // queries failing with 504
+	Errors     int64      `json:"errors"`    // other failures (per-item or transport)
+	Overflow   int64      `json:"overflow"`  // queries dropped at the open-loop cap
+	Degraded   int64      `json:"degraded"`  // served queries answered on a degraded tier
+	Partial    int64      `json:"partial"`   // served queries tagged with missing shard coverage (coord target)
+	// Epoch tracking (coord target): the coordinator stamps every answer
+	// with its shard-map epoch (X-Tabmine-Epoch). EpochChanges counts
+	// distinct epochs observed minus one, so a handoff drill can assert
+	// the cutover actually happened under this run's load.
+	EpochMin       int64       `json:"epoch_min,omitempty"`
+	EpochMax       int64       `json:"epoch_max,omitempty"`
+	EpochChanges   int         `json:"epoch_changes"`
 	ElapsedSec     float64     `json:"elapsed_sec"`
 	AchievedRate   float64     `json:"achieved_rate_qps"` // (served+shed+timed_out+errors)/elapsed
 	ShedRate       float64     `json:"shed_rate"`         // shed / issued
@@ -223,6 +231,29 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg       sync.WaitGroup
 	)
 	sem := make(chan struct{}, cfg.MaxOutstanding)
+	// Epoch observations (coord target): distinct X-Tabmine-Epoch values
+	// seen across the run, for the handoff-drill assertion that a
+	// cutover happened mid-traffic.
+	var (
+		epochMu   sync.Mutex
+		epochSeen = map[int64]bool{}
+		epochMin  int64
+		epochMax  int64
+	)
+	recordEpoch := func(e int64) {
+		if e == 0 {
+			return // absent header; real epochs start at 1
+		}
+		epochMu.Lock()
+		if len(epochSeen) == 0 || e < epochMin {
+			epochMin = e
+		}
+		if e > epochMax {
+			epochMax = e
+		}
+		epochSeen[e] = true
+		epochMu.Unlock()
+	}
 	arrival := rand.New(rand.NewPCG(cfg.Seed, 0x6172726976616c)) // arrival schedule stream
 	start := time.Now()
 	elapsed := 0.0 // scheduled seconds since start
@@ -260,6 +291,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			errs.Add(out.errs)
 			degraded.Add(out.degraded)
 			partial.Add(out.partial)
+			recordEpoch(out.epoch)
 		}(rq)
 	}
 	wg.Wait()
@@ -285,6 +317,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Max: float64(hist.maxNS.Load()) / float64(time.Millisecond),
 		},
 		Histogram: hist.buckets(),
+	}
+	if n := len(epochSeen); n > 0 {
+		rep.EpochMin, rep.EpochMax = epochMin, epochMax
+		rep.EpochChanges = n - 1
 	}
 	if wall > 0 {
 		rep.AchievedRate = float64(issued) / wall
@@ -342,6 +378,7 @@ type request struct {
 
 type outcome struct {
 	served, shed, timedOut, errs, degraded, partial int64
+	epoch                                           int64 // X-Tabmine-Epoch (0 = absent)
 }
 
 // buildWorkload materializes the deterministic query stream: zipf
@@ -445,26 +482,33 @@ func (rq request) issue(ctx context.Context, cfg *Config) outcome {
 		return outcome{errs: int64(rq.n)}
 	}
 	defer resp.Body.Close()
+	// A coordinator stamps every answer — success or error — with its
+	// shard-map epoch; absent (plain server target) parses to 0.
+	var epoch int64
+	if h := resp.Header.Get("X-Tabmine-Epoch"); h != "" {
+		epoch, _ = strconv.ParseInt(h, 10, 64)
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return outcome{errs: int64(rq.n)}
+		return outcome{errs: int64(rq.n), epoch: epoch}
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusServiceUnavailable:
-		return outcome{shed: int64(rq.n)}
+		return outcome{shed: int64(rq.n), epoch: epoch}
 	case http.StatusGatewayTimeout:
-		return outcome{timedOut: int64(rq.n)}
+		return outcome{timedOut: int64(rq.n), epoch: epoch}
 	default:
-		return outcome{errs: int64(rq.n)}
+		return outcome{errs: int64(rq.n), epoch: epoch}
 	}
 	if rq.body != nil {
 		var br server.BatchResponse
 		if err := json.Unmarshal(body, &br); err != nil {
-			return outcome{errs: int64(rq.n)}
+			return outcome{errs: int64(rq.n), epoch: epoch}
 		}
 		out := outcome{
 			served: int64(br.Served), errs: int64(br.Failed), degraded: int64(br.Degraded),
+			epoch: epoch,
 		}
 		for _, item := range br.Items {
 			var tag struct {
@@ -480,7 +524,7 @@ func (rq request) issue(ctx context.Context, cfg *Config) outcome {
 		Degraded bool `json:"degraded"`
 		Partial  bool `json:"partial"`
 	}
-	out := outcome{served: 1}
+	out := outcome{served: 1, epoch: epoch}
 	if json.Unmarshal(body, &tag) == nil {
 		if tag.Degraded {
 			out.degraded = 1

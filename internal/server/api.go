@@ -134,6 +134,9 @@ type Health struct {
 	TileRows int    `json:"tile_rows"`
 	TileCols int    `json:"tile_cols"`
 	Reloads  int64  `json:"reloads"` // snapshot swaps since startup
+	// Epoch is the shard-map epoch, filled only by a coordinator (a
+	// plain server has no fleet and omits it).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Ready answers /readyz: 200/"ready" once a snapshot is being served,
@@ -141,6 +144,8 @@ type Health struct {
 type Ready struct {
 	Status     string `json:"status"`
 	Generation int64  `json:"generation,omitempty"`
+	// Epoch is the shard-map epoch (coordinator only, like Health.Epoch).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx answer and of every
@@ -187,6 +192,11 @@ type SketchResult struct {
 	Sketch     []float64 `json:"sketch"`
 	Exact      bool      `json:"exact"` // exactly-dyadic rect (full (1±ε) guarantee)
 	Generation int64     `json:"generation"`
+	// BaseCol echoes this shard's global column offset so a coordinator
+	// can fence an answer whose placement moved under a stale shard map
+	// (a replacement process on a reused address, a window trim the
+	// prober has not seen yet).
+	BaseCol int `json:"base_col"`
 }
 
 // SketchQueryRequest is the body of POST /v1/sketch/nearest and
@@ -210,6 +220,8 @@ type SketchBest struct {
 	Medoid     int     `json:"medoid,omitempty"`  // assign: local medoid tile index
 	Distance   float64 `json:"distance"`
 	Generation int64   `json:"generation"`
+	// BaseCol: see SketchResult.BaseCol.
+	BaseCol int `json:"base_col"`
 }
 
 // BatchItem is one query inside a BatchRequest: a/b for distance

@@ -156,8 +156,12 @@ type Server struct {
 	queuedCost   atomic.Int64
 	inflightCost atomic.Int64
 	reloads      atomic.Int64
-	mux          *http.ServeMux
-	hs           *http.Server
+	// draining marks the lame-duck state: readiness is withdrawn (so
+	// coordinators route away) but queries still answer — the handoff
+	// window between "stop sending me new work" and process exit.
+	draining atomic.Bool
+	mux      *http.ServeMux
+	hs       *http.Server
 }
 
 // New builds a Server answering from snap under cfg's policy. A nil
@@ -237,6 +241,21 @@ func (s *Server) Queued() int { return int(s.queuedCost.Load()) }
 
 // Inflight reports how many requests hold execution slots.
 func (s *Server) Inflight() int { return len(s.sem) }
+
+// BeginDrain enters the lame-duck state: /readyz answers 503
+// ("draining") and /v1/shardinfo reports not-ready, so health-checked
+// routers and coordinator probes steer new traffic away, while every
+// query endpoint keeps answering — in-flight and still-arriving work
+// completes normally. The handoff sequence is BeginDrain, wait for the
+// fleet to route around this server, then Shutdown. Idempotent.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.cfg.Logf("server: draining (lame duck): readiness withdrawn, queries still served")
+	}
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Serve accepts connections on l until Shutdown (returning
 // http.ErrServerClosed) or a listener error.
@@ -672,6 +691,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, &Ready{Status: "booting"})
+		return
+	}
+	if s.Draining() {
+		// Lame duck: still answering queries, but do not route new work
+		// here — the 503 is what flips a coordinator's probes to failing.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, &Ready{Status: "draining", Generation: gen})
 		return
 	}
 	writeJSON(w, http.StatusOK, &Ready{Status: "ready", Generation: gen})

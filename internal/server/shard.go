@@ -42,7 +42,9 @@ const maxSketchBody = 1 << 20
 // publish) and it must stay cheap and shed-proof under load.
 func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
 	sn, gen := s.current()
-	if sn == nil {
+	if sn == nil || s.Draining() {
+		// A draining (lame-duck) shard reports not-ready so coordinators
+		// route away from it, while queries already in flight still answer.
 		writeJSON(w, http.StatusOK, &ShardInfo{Ready: false})
 		return
 	}
@@ -160,7 +162,10 @@ func (s *Server) subSketch(ctx context.Context, sn *Snapshot, gen int64, r *http
 	}
 	out := make([]float64, len(sk))
 	copy(out, sk)
-	return &SketchResult{Sketch: out, Exact: sn.pool.IsExact(rect), Generation: gen}, nil
+	return &SketchResult{
+		Sketch: out, Exact: sn.pool.IsExact(rect), Generation: gen,
+		BaseCol: sn.pool.BaseCol(),
+	}, nil
 }
 
 // decodeSketchQuery parses and hardens a posted sub-query: the sketch
@@ -213,6 +218,7 @@ func (s *Server) subSketchNearest(ctx context.Context, sn *Snapshot, gen int64, 
 	}
 	return &SketchBest{
 		Tile: idx, Rect: FormatRect(sn.tiles[idx]), Distance: d, Generation: gen,
+		BaseCol: sn.pool.BaseCol(),
 	}, nil
 }
 
@@ -232,5 +238,6 @@ func (s *Server) subSketchAssign(ctx context.Context, sn *Snapshot, gen int64, r
 	return &SketchBest{
 		Tile: m, Rect: FormatRect(sn.tiles[m]),
 		Cluster: c, Medoid: m, Distance: d, Generation: gen,
+		BaseCol: sn.pool.BaseCol(),
 	}, nil
 }
