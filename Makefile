@@ -7,7 +7,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo replay-smoke shard-demo handoff-demo all
+.PHONY: build test race bench bench-json bench-smoke fuzz fuzz-smoke vet staticcheck fsck-demo serve-demo ingest-demo mmap-demo replay-smoke shard-demo handoff-demo all
 
 all: build test
 
@@ -45,7 +45,7 @@ bench:
 # batched query path (one POST vs 64 GETs + kernel allocs/item), and an
 # embedded open-loop replay run.
 bench-json:
-	$(GO) run ./cmd/tabmine-bench -out BENCH_7.json
+	$(GO) run ./cmd/tabmine-bench -out BENCH_10.json
 
 # CI-friendly slice of bench-json: just the nearest suite at the
 # smallest grid, as a smoke test that the progressive scan keeps
@@ -299,3 +299,65 @@ ingest-demo:
 	"$$d/query" -server "$$srv" -op health | grep -q '"cols":48'; \
 	kill -TERM $$pid; wait $$pid; \
 	echo 'ingest-demo OK'
+
+# Robustness drill of segment-mode serving (tabmine-serve -segments):
+# ingest days so the sealed pool prefix lands in mmap segment files,
+# record reference answers, SIGKILL the server mid-flight, restart it,
+# and require (a) the first health after restart within seconds — the
+# pool maps segments instead of replaying days, and /debug/vars must
+# report tabmine_seg_restart_replay_days 0 — and (b) every recorded
+# query answering byte-identically to its pre-kill reference. Also
+# checks the segments listing and that fsck covers the segment files.
+mmap-demo:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"; kill -9 $$pid 2>/dev/null || true' EXIT; \
+	$(GO) build -o "$$d/serve" ./cmd/tabmine-serve; \
+	$(GO) build -o "$$d/push" ./cmd/tabmine-ingest; \
+	$(GO) build -o "$$d/query" ./cmd/tabmine-query; \
+	$(GO) build -o "$$d/store" ./cmd/tabmine-store; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 16 -seed 1 -o "$$d/day0.tabf"; \
+	$(GO) run ./cmd/tabmine-gendata -kind random -rows 64 -cols 16 -seed 2 -o "$$d/day1.tabf"; \
+	"$$d/store" -dir "$$d/st" init; \
+	"$$d/store" -dir "$$d/st" append -label d00 -in "$$d/day0.tabf"; \
+	"$$d/store" -dir "$$d/st" append -label d01 -in "$$d/day1.tabf"; \
+	"$$d/serve" -store "$$d/st" -segments -panel-cols 16 -addr 127.0.0.1:0 -addr-file "$$d/addr" \
+		-k 64 -tile-rows 8 -tile-cols 8 -clusters 4 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo 'ERROR: server never published its address'; exit 1; }; \
+	srv="http://$$(cat "$$d/addr")"; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":32' && break; sleep 0.1; done; \
+	echo '--- pushing two more days so maintenance seals segments:'; \
+	"$$d/push" -addr "$$srv" -label d02 -random 64x16 -seed 9; \
+	"$$d/push" -addr "$$srv" -label d03 -random 64x16 -seed 10; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":64' && break; sleep 0.1; done; \
+	"$$d/query" -server "$$srv" -op health | grep -q '"cols":64'; \
+	echo '--- segment listing (sealed files must exist and pass CRC):'; \
+	"$$d/store" -dir "$$d/st" segments | tee "$$d/seglist"; \
+	grep -q 'CRC ok' "$$d/seglist"; \
+	echo '--- reference answers over the sealed (mmap-backed) prefix:'; \
+	"$$d/query" -server "$$srv" -op distance -a 0,0,8,8 -b 8,8,8,8 -mode sketch >"$$d/ref1"; \
+	"$$d/query" -server "$$srv" -op distance -a 0,16,8,8 -b 8,40,8,8 -mode sketch >"$$d/ref2"; \
+	"$$d/query" -server "$$srv" -op nearest -q 4,4,8,8 -mode sketch >"$$d/ref3"; \
+	echo '--- SIGKILL, then restart over the same store:'; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	"$$d/serve" -store "$$d/st" -segments -panel-cols 16 -addr 127.0.0.1:0 -addr-file "$$d/addr2" \
+		-k 64 -tile-rows 8 -tile-cols 8 -clusters 4 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$d/addr2" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr2" ] || { echo 'ERROR: restarted server never published its address'; exit 1; }; \
+	srv="http://$$(cat "$$d/addr2")"; \
+	for i in $$(seq 1 100); do \
+		"$$d/query" -server "$$srv" -op health | grep -q '"cols":64' && break; sleep 0.1; done; \
+	"$$d/query" -server "$$srv" -op health | grep -q '"cols":64'; \
+	echo '--- restart must have replayed zero days (segments mapped, fringe rebuilt):'; \
+	curl -fsS "$$srv/debug/vars" | grep -q '"tabmine_seg_restart_replay_days": 0' \
+		|| { echo 'ERROR: restart replayed days'; curl -fsS "$$srv/debug/vars" | grep replay; exit 1; }; \
+	echo '--- answers after the kill must equal the references byte-for-byte:'; \
+	"$$d/query" -server "$$srv" -op distance -a 0,0,8,8 -b 8,8,8,8 -mode sketch >"$$d/got1"; \
+	"$$d/query" -server "$$srv" -op distance -a 0,16,8,8 -b 8,40,8,8 -mode sketch >"$$d/got2"; \
+	"$$d/query" -server "$$srv" -op nearest -q 4,4,8,8 -mode sketch >"$$d/got3"; \
+	diff "$$d/ref1" "$$d/got1"; diff "$$d/ref2" "$$d/got2"; diff "$$d/ref3" "$$d/got3"; \
+	echo '--- fsck covers the segment files too:'; \
+	"$$d/store" -dir "$$d/st" fsck | grep -q 'checked .* segments'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo 'mmap-demo OK'

@@ -17,6 +17,14 @@
 //	tabmine-serve -store ./calls -addr 127.0.0.1:8080 \
 //	    -window-days 30 -panel-cols 32 -pool-file ./calls/pool.skpo
 //
+// With -segments (store mode, instead of -pool-file) the sealed prefix
+// of the pool persists as immutable memory-mapped segment files under
+// <store>/segments: queries read sealed lanes from the mappings (the
+// window is bounded by disk, not RAM) and a restart maps the segments
+// and rebuilds only the fringe — tabmine_seg_restart_replay_days
+// reads 0 even after SIGKILL. See tabmine-store segments/fsck and
+// `make mmap-demo`.
+//
 // Lifecycle: SIGHUP re-reads the input files and hot-swaps the
 // snapshot atomically (in-flight requests finish against the old one);
 // in store mode it is the manual override that re-reads the manifest
@@ -105,6 +113,7 @@ func main() {
 		windowDays = flag.Int("window-days", 0, "store mode: sliding window over the time axis, in days (0 = unbounded)")
 		panelCols  = flag.Int("panel-cols", 32, "store mode: panel width for incremental pool maintenance")
 		poolFile   = flag.String("pool-file", "", "store mode: persist the pool here for crash-safe resume")
+		segments   = flag.Bool("segments", false, "store mode: persist the sealed pool prefix as mmap-backed segment files under <store>/segments — restart maps them and replays no days (exclusive with -pool-file; needs power-of-two -panel-cols)")
 		poll       = flag.Duration("poll", 0, "store mode: re-read the manifest this often (0 = pushes and SIGHUP only)")
 		queueLen   = flag.Int("queue-len", 0, "store mode: pending-append backlog bound before 503s (0 = default 8)")
 	)
@@ -152,10 +161,14 @@ func main() {
 			popts.MaxLogRows = min(popts.MaxLogRows, *maxLog)
 			popts.MaxLogCols = min(popts.MaxLogCols, *maxLog)
 		}
+		segDir := ""
+		if *segments {
+			segDir = st.SegmentsDir()
+		}
 		ingester, err = ingest.New(st, ingest.Options{
 			PoolP: *p, PoolK: *k, PoolSeed: *seed, Pool: popts,
 			WindowDays: *windowDays, QueueLen: *queueLen,
-			PoolFile: *poolFile, Poll: *poll,
+			PoolFile: *poolFile, SegmentDir: segDir, Poll: *poll,
 			Snapshot: snapCfg, Publisher: latch, Logf: logger.Printf,
 		})
 		fatal(err)

@@ -7,6 +7,14 @@
 //	tabmine-store -dir ./calls list
 //	tabmine-store -dir ./calls export -from 0 -to 3 -o week.tabf
 //	tabmine-store -dir ./calls fsck
+//	tabmine-store -dir ./calls segments
+//
+// fsck verifies the day files and, when the store serves in segment
+// mode (tabmine-serve -segments), deep-verifies the mmap segment files
+// under segments/ too: corrupt segments are quarantined and an
+// unreadable segment manifest is rebuilt from the surviving headers.
+// segments lists the live segment set — level, column range, CRC
+// status, and bytes mapped vs payload.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/segstore"
 	"repro/internal/tabfile"
 	"repro/internal/table"
 	"repro/internal/tabstore"
@@ -25,7 +34,7 @@ func main() {
 		dir = flag.String("dir", "", "store directory (required)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tabmine-store -dir DIR {init | append | list | export | fsck} [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: tabmine-store -dir DIR {init | append | list | export | fsck | segments} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,6 +58,8 @@ func main() {
 		runExport(*dir, args)
 	case "fsck":
 		runFsck(*dir)
+	case "segments":
+		runSegments(*dir)
 	default:
 		fatal(fmt.Errorf("unknown subcommand %q", cmd))
 	}
@@ -142,10 +153,65 @@ func runFsck(dir string) {
 	if rep.Rebuilt {
 		fmt.Printf("manifest rebuilt: %d days remain\n", s.NumDays())
 	}
-	if rep.OK() {
+	healthy := rep.OK()
+
+	// Segment-mode stores keep their mmap segment files under segments/;
+	// deep-verify those too (per-lane CRCs, tiling contiguity), sharing
+	// the quarantine convention with the day files.
+	if st, err := os.Stat(s.SegmentsDir()); err == nil && st.IsDir() {
+		srep, err := segstore.Fsck(s.SegmentsDir())
+		fatal(err)
+		fmt.Printf("checked %d segments\n", srep.Checked)
+		for _, p := range srep.Problems {
+			fmt.Printf("  problem: %s\n", p)
+		}
+		for _, f := range srep.Quarantined {
+			fmt.Printf("  quarantined: %s -> %s\n", f, "segments/quarantine/")
+		}
+		for _, f := range srep.TempsRemoved {
+			fmt.Printf("  removed stray temp: %s\n", f)
+		}
+		if srep.Rebuilt {
+			fmt.Println("segment manifest rebuilt")
+		}
+		healthy = healthy && srep.OK()
+	}
+	if healthy {
 		fmt.Println("store is healthy")
 	} else {
 		os.Exit(1)
+	}
+}
+
+// runSegments lists the live segment set of a segment-mode store:
+// level, column range, CRC status, and the byte accounting (what
+// serving maps vs the lane payload itself).
+func runSegments(dir string) {
+	s, err := tabstore.Open(dir)
+	fatal(err)
+	l, err := segstore.List(s.SegmentsDir())
+	if os.IsNotExist(err) {
+		fatal(fmt.Errorf("store %s has no segment directory (serve with tabmine-serve -segments)", dir))
+	}
+	fatal(err)
+	fmt.Printf("segment store %s: columns [%d, %d) sealed across %d segments\n",
+		s.SegmentsDir(), l.BaseCol, l.SealedCol, len(l.Segments))
+	var disk, payload int64
+	for _, in := range l.Segments {
+		status := "CRC ok"
+		if !in.CRCOK {
+			status = "CRC BAD"
+		}
+		fmt.Printf("  L%d seq %-6d %-24s cols [%d, %d)  %8d bytes mapped  %8d payload  %s\n",
+			in.Level, in.Seq, in.File, in.T0, in.T1, in.MappedBytes, in.PayloadBytes, status)
+		disk += in.Bytes
+		payload += in.PayloadBytes
+	}
+	fmt.Printf("total: %d bytes on disk, %d bytes of lane payload\n", disk, payload)
+	for _, in := range l.Segments {
+		if !in.CRCOK {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -55,13 +55,31 @@ func firstDirtyPanel(fromCols, w, b int) int {
 // panel), shared by every row size and sketch set), then correlation
 // jobs fan out per (rowsize, colsize, set); each job writes only its own
 // plane set's lanes, so results are byte-identical at any worker count.
-func (pl *Pool) buildPanels(ctx context.Context, t *table.Table, workers, fromCols int) error {
+//
+// minAnchor additionally floors every group's first panel at anchor
+// column minAnchor (which must be a multiple of every panel width in
+// play, i.e. of segment alignment): banded pools pass their sealed
+// column count so no panel ever writes into a sealed (read-only,
+// possibly memory-mapped) band. For a banded append the floor is
+// provably redundant — the first dirty panel of an append at fromCols ≥
+// sealed + b − 1 starts at or after the sealed boundary — but it turns a
+// would-be silent corruption into the panelDst panic below.
+func (pl *Pool) buildPanels(ctx context.Context, t *table.Table, workers, fromCols, minAnchor int) error {
 	var groups []*colPanels
 	for j := pl.opts.MinLogCols; j <= pl.opts.MaxLogCols; j++ {
 		b := 1 << j
 		g := &colPanels{j: j, b: b, w: max(pl.opts.PanelCols, b), anchors: pl.cols - b + 1}
 		g.qnum = (g.anchors + g.w - 1) / g.w
 		g.qmin = firstDirtyPanel(fromCols, g.w, b)
+		if minAnchor > 0 {
+			if minAnchor%g.w != 0 {
+				return fmt.Errorf("core: sealed boundary %d not aligned to panel width %d (size 2^%d)",
+					minAnchor, g.w, g.j)
+			}
+			if q := minAnchor / g.w; q > g.qmin {
+				g.qmin = q
+			}
+		}
 		if g.qmin >= g.qnum {
 			continue // append narrower than the last panel's remaining room
 		}
@@ -110,7 +128,6 @@ func (pl *Pool) buildPanels(ctx context.Context, t *table.Table, workers, fromCo
 		ps := pl.entries[[2]int{jb.i, g.j}][jb.s]
 		sk := ps.sk
 		a, k := 1<<jb.i, pl.k
-		rowStride := ps.cols * k
 		for qi, plan := range g.plans {
 			if err := ctx.Err(); err != nil {
 				errs[n] = err
@@ -118,15 +135,16 @@ func (pl *Pool) buildPanels(ctx context.Context, t *table.Table, workers, fromCo
 			}
 			c0a := (g.qmin + qi) * g.w
 			sub := min(g.w, g.anchors-c0a)
+			dst, rowStride := ps.panelDst(c0a)
 			for pi := 0; pi < (k+1)/2; pi++ {
 				i2 := 2 * pi
 				var kernB, dstB []float64
 				if i2+1 < k {
 					kernB = sk.mats[i2+1]
-					dstB = ps.data[c0a*k+i2+1:]
+					dstB = dst[i2+1:]
 				}
 				plan.CorrelatePairValidSub(sk.mats[i2], kernB, a, g.b, sub,
-					ps.data[c0a*k+i2:], rowStride, k, dstB, rowStride, k)
+					dst[i2:], rowStride, k, dstB, rowStride, k)
 			}
 		}
 	}); err != nil {
@@ -179,26 +197,61 @@ func (pl *Pool) Append(ctx context.Context, t *table.Table) (*Pool, error) {
 		p: pl.p, k: pl.k, rows: pl.rows, cols: t.Cols(), seed: pl.seed,
 		baseCol: pl.baseCol, opts: pl.opts,
 		entries: make(map[[2]int][compoundSets]*PlaneSet, len(pl.entries)),
+		banded:  pl.banded, sealed: pl.sealed,
 	}
-	// Copy every lane forward row by row (plane rows widen with the
-	// table). Dirty panels are overwritten below; clean panels keep these
-	// bytes, which the old build produced from bit-identical slabs.
+	// Copy every unsealed lane forward row by row (plane rows widen with
+	// the table). Dirty panels are overwritten below; clean panels keep
+	// these bytes, which the old build produced from bit-identical slabs.
+	// A banded pool shares its sealed bands outright — they are immutable
+	// and an append cannot reach them — so the forward copy shrinks from
+	// O(pool bytes) to O(fringe bytes).
 	for key, sets := range pl.entries {
 		b := 1 << key[1]
 		var nsets [compoundSets]*PlaneSet
 		for s, ps := range sets {
 			nps := &PlaneSet{sk: ps.sk, rows: ps.rows, cols: np.cols - b + 1}
-			nps.data = make([]float64, nps.rows*nps.cols*np.k)
-			rowOld, rowNew := ps.cols*np.k, nps.cols*np.k
-			for r := 0; r < ps.rows; r++ {
-				copy(nps.data[r*rowNew:r*rowNew+rowOld], ps.data[r*rowOld:(r+1)*rowOld])
+			if ps.bands == nil {
+				nps.data = make([]float64, nps.rows*nps.cols*np.k)
+				rowOld, rowNew := ps.cols*np.k, nps.cols*np.k
+				for r := 0; r < ps.rows; r++ {
+					copy(nps.data[r*rowNew:r*rowNew+rowOld], ps.data[r*rowOld:(r+1)*rowOld])
+				}
+			} else {
+				k := np.k
+				old := &ps.bands[len(ps.bands)-1] // heap fringe, [sealed, ps.cols)
+				nf := laneBand{c0: old.c0, c1: nps.cols,
+					data: make([]float64, ps.rows*(nps.cols-old.c0)*k)}
+				ow, nw := old.c1-old.c0, nf.c1-nf.c0
+				for r := 0; r < ps.rows; r++ {
+					copy(nf.data[r*nw*k:(r*nw+ow)*k], old.data[r*ow*k:(r+1)*ow*k])
+				}
+				nps.bands = append(append([]laneBand(nil), ps.bands[:len(ps.bands)-1]...), nf)
 			}
 			nsets[s] = nps
 		}
 		np.entries[key] = nsets
 	}
-	if err := np.buildPanels(ctx, t, parallel.Resolve(pl.opts.Workers), pl.cols); err != nil {
+	if err := np.buildPanels(ctx, t, parallel.Resolve(pl.opts.Workers), pl.cols, pl.sealed); err != nil {
 		return nil, err
 	}
 	return np, nil
+}
+
+// panelDst returns the write destination for the panel whose first
+// anchor column is c0a: the lane slice positioned at that anchor and the
+// row stride of the underlying storage. For banded plane sets the panel
+// must lie inside the heap fringe (the final band) — writing a sealed,
+// possibly memory-mapped band is a bug, so it panics rather than
+// corrupting shared bytes.
+func (ps *PlaneSet) panelDst(c0a int) ([]float64, int) {
+	k := ps.sk.k
+	if ps.bands == nil {
+		return ps.data[c0a*k:], ps.cols * k
+	}
+	fb := &ps.bands[len(ps.bands)-1]
+	if c0a < fb.c0 || fb.ext {
+		panic(fmt.Sprintf("core: panel write at anchor %d into sealed band (fringe starts at %d)",
+			c0a, fb.c0))
+	}
+	return fb.data[(c0a-fb.c0)*k:], (fb.c1 - fb.c0) * k
 }

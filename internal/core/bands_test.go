@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func bandedTestTable(rows, cols int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := table.New(rows, cols)
+	d := tb.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return tb
+}
+
+func bandedTestOpts(workers int) PoolOptions {
+	return PoolOptions{MinLogRows: 1, MaxLogRows: 2, MinLogCols: 1, MaxLogCols: 2,
+		PanelCols: 4, Workers: workers}
+}
+
+// sealFromPool builds SealedBand views [0, sealedTo) in chunk-column
+// slices whose payloads are copied out of src — the in-core stand-in
+// for segment-file mappings.
+func sealFromPool(t *testing.T, src *Pool, sealedTo, chunk int) []SealedBand {
+	t.Helper()
+	var bands []SealedBand
+	for c0 := 0; c0 < sealedTo; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > sealedTo {
+			c1 = sealedTo
+		}
+		payload := make(map[LaneID][]float64)
+		for _, id := range src.Lanes() {
+			data, err := src.CopyLaneBand(id, c0, c1, nil)
+			if err != nil {
+				t.Fatalf("CopyLaneBand %+v [%d,%d): %v", id, c0, c1, err)
+			}
+			payload[id] = data
+		}
+		bands = append(bands, SealedBand{C0: c0, C1: c1,
+			Lane: func(id LaneID) []float64 { return payload[id] }})
+	}
+	return bands
+}
+
+// assertLanesIdentical compares every lane byte-for-byte via
+// CopyLaneBand — a stronger check than sketch comparison because it
+// covers all precomputed planes, not just queried rectangles.
+func assertLanesIdentical(t *testing.T, want, got *Pool, label string) {
+	t.Helper()
+	var wbuf, gbuf []float64
+	for _, id := range want.Lanes() {
+		rows := want.LaneRows(id)
+		_, cols := want.TableDims()
+		planeCols := cols - 1<<id.J + 1
+		var err error
+		wbuf, err = want.CopyLaneBand(id, 0, planeCols, wbuf)
+		if err != nil {
+			t.Fatalf("%s: want lane %+v: %v", label, id, err)
+		}
+		gbuf, err = got.CopyLaneBand(id, 0, planeCols, gbuf)
+		if err != nil {
+			t.Fatalf("%s: got lane %+v: %v", label, id, err)
+		}
+		for i := range wbuf {
+			if math.Float64bits(wbuf[i]) != math.Float64bits(gbuf[i]) {
+				t.Fatalf("%s: lane %+v (%d rows) differs at float %d: %v != %v",
+					label, id, rows, i, gbuf[i], wbuf[i])
+			}
+		}
+	}
+}
+
+// TestBandedPoolMatchesHeapPool pins the central mmap-serving contract:
+// a banded pool whose sealed prefix was adopted from externally stored
+// bands is byte-identical to a from-scratch heap pool, at every worker
+// count.
+func TestBandedPoolMatchesHeapPool(t *testing.T) {
+	tb := bandedTestTable(8, 20, 1)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		opts := bandedTestOpts(workers)
+		heap, err := NewPool(tb, 2, 6, 99, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: NewPool: %v", workers, err)
+		}
+		if heap.Banded() || heap.SealedCols() != 0 {
+			t.Fatalf("workers=%d: heap pool claims banded", workers)
+		}
+		// All-fringe banded pool: same build path, band bookkeeping only.
+		allFringe, err := NewBandedPool(tb, 2, 6, 99, opts, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: NewBandedPool(nil): %v", workers, err)
+		}
+		assertLanesIdentical(t, heap, allFringe, "all-fringe")
+
+		// Sealed banded pool: adopt [0, 12) in 4-column bands, rebuild the
+		// fringe from the table.
+		if sa := heap.SegAlign(); sa != 4 {
+			t.Fatalf("workers=%d: SegAlign %d, want 4", workers, sa)
+		}
+		sealed := sealFromPool(t, heap, 12, 4)
+		banded, err := NewBandedPool(tb, 2, 6, 99, opts, sealed)
+		if err != nil {
+			t.Fatalf("workers=%d: NewBandedPool: %v", workers, err)
+		}
+		if !banded.Banded() || banded.SealedCols() != 12 {
+			t.Fatalf("workers=%d: sealed=%d banded=%v", workers, banded.SealedCols(), banded.Banded())
+		}
+		assertLanesIdentical(t, heap, banded, "sealed-banded")
+	}
+}
+
+// TestBandedAppendMatchesHeap grows a sealed banded pool by appended
+// columns and checks byte identity against a from-scratch heap build
+// over the wider table; sealed bands must be shared, not copied.
+func TestBandedAppendMatchesHeap(t *testing.T) {
+	full := bandedTestTable(8, 26, 2)
+	narrow := full.Sub(table.Rect{R0: 0, C0: 0, Rows: 8, Cols: 20})
+	opts := bandedTestOpts(2)
+
+	heapNarrow, err := NewPool(narrow, 2, 6, 7, opts)
+	if err != nil {
+		t.Fatalf("NewPool narrow: %v", err)
+	}
+	sealed := sealFromPool(t, heapNarrow, 16, 8)
+	banded, err := NewBandedPool(narrow, 2, 6, 7, opts, sealed)
+	if err != nil {
+		t.Fatalf("NewBandedPool: %v", err)
+	}
+	grown, err := banded.Append(nil, full)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if grown.SealedCols() != 16 || !grown.Banded() {
+		t.Fatalf("append moved sealed cols: %d", grown.SealedCols())
+	}
+	heapFull, err := NewPool(full, 2, 6, 7, opts)
+	if err != nil {
+		t.Fatalf("NewPool full: %v", err)
+	}
+	assertLanesIdentical(t, heapFull, grown, "banded-append")
+}
+
+// TestRebandPreservesBytes converts a heap panel pool to banded form
+// (the first-seal transition) and re-expresses a banded pool over a
+// coarser band partition (the post-compaction transition); neither may
+// change a byte.
+func TestRebandPreservesBytes(t *testing.T) {
+	tb := bandedTestTable(8, 20, 3)
+	opts := bandedTestOpts(0)
+	heap, err := NewPool(tb, 2, 6, 13, opts)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+
+	firstSeal, err := heap.Reband(sealFromPool(t, heap, 8, 4))
+	if err != nil {
+		t.Fatalf("Reband heap→banded: %v", err)
+	}
+	if !firstSeal.Banded() || firstSeal.SealedCols() != 8 {
+		t.Fatalf("first seal: banded=%v sealed=%d", firstSeal.Banded(), firstSeal.SealedCols())
+	}
+	assertLanesIdentical(t, heap, firstSeal, "first-seal")
+
+	// Seal further and coarsen: one 16-column band replaces 4-column ones.
+	merged, err := firstSeal.Reband(sealFromPool(t, heap, 16, 16))
+	if err != nil {
+		t.Fatalf("Reband coarser: %v", err)
+	}
+	if merged.SealedCols() != 16 {
+		t.Fatalf("merged sealed=%d", merged.SealedCols())
+	}
+	assertLanesIdentical(t, heap, merged, "coarse-reband")
+
+	// Unsealing is refused.
+	if _, err := merged.Reband(sealFromPool(t, heap, 8, 8)); err == nil {
+		t.Fatal("Reband accepted a shrinking sealed prefix")
+	}
+}
+
+// TestTrimSealedMatchesFreshSuffixBuild trims a banded pool at a
+// segment boundary and compares against a from-scratch heap pool over
+// the suffix table — valid because an aligned trim leaves the absolute
+// panel grid of surviving columns unchanged.
+func TestTrimSealedMatchesFreshSuffixBuild(t *testing.T) {
+	tb := bandedTestTable(8, 24, 4)
+	opts := bandedTestOpts(2)
+	heap, err := NewPool(tb, 2, 6, 21, opts)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	banded, err := NewBandedPool(tb, 2, 6, 21, opts, sealFromPool(t, heap, 20, 4))
+	if err != nil {
+		t.Fatalf("NewBandedPool: %v", err)
+	}
+
+	const drop = 8
+	trimmed, err := banded.TrimSealed(drop)
+	if err != nil {
+		t.Fatalf("TrimSealed: %v", err)
+	}
+	if trimmed.BaseCol() != drop || trimmed.SealedCols() != 20-drop {
+		t.Fatalf("trimmed base=%d sealed=%d", trimmed.BaseCol(), trimmed.SealedCols())
+	}
+	suffix := tb.Sub(table.Rect{R0: 0, C0: drop, Rows: 8, Cols: 24 - drop})
+	sOpts := opts
+	sOpts.BaseCol = drop
+	fresh, err := NewPool(suffix, 2, 6, 21, sOpts)
+	if err != nil {
+		t.Fatalf("NewPool suffix: %v", err)
+	}
+	assertLanesIdentical(t, fresh, trimmed, "trim-vs-fresh-suffix")
+
+	// Misaligned and band-splitting trims are refused.
+	if _, err := banded.TrimSealed(6); err == nil {
+		t.Fatal("TrimSealed accepted a misaligned drop")
+	}
+	if _, err := banded.TrimSealed(0); err == nil {
+		t.Fatal("TrimSealed accepted a zero drop")
+	}
+	// The trimmed pool still appends correctly: extend the suffix table
+	// and compare against a fresh build over the wider suffix.
+	wide := bandedTestTable(8, 30, 4)
+	wider := table.New(8, 20)
+	for r := 0; r < 8; r++ {
+		copy(wider.Row(r)[:16], suffix.Row(r))
+		copy(wider.Row(r)[16:], wide.Row(r)[:4])
+	}
+	grown, err := trimmed.Append(nil, wider)
+	if err != nil {
+		t.Fatalf("Append after trim: %v", err)
+	}
+	freshWide, err := NewPool(wider, 2, 6, 21, sOpts)
+	if err != nil {
+		t.Fatalf("NewPool wider suffix: %v", err)
+	}
+	assertLanesIdentical(t, freshWide, grown, "append-after-trim")
+}
+
+// TestBandedPersistRefused pins that banded pools refuse SavePool —
+// they persist through the segment store.
+func TestBandedPersistRefused(t *testing.T) {
+	tb := bandedTestTable(8, 20, 5)
+	opts := bandedTestOpts(1)
+	pl, err := NewBandedPool(tb, 2, 6, 3, opts, nil)
+	if err != nil {
+		t.Fatalf("NewBandedPool: %v", err)
+	}
+	if err := SavePool(discardWriter{}, pl); err == nil {
+		t.Fatal("SavePool accepted a banded pool")
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -294,6 +294,9 @@ func readSketcher(lr *leReader) (*Sketcher, error) {
 // SavePlaneSet writes ps (parameters + position-major payload) in the
 // checksummed v2 format.
 func SavePlaneSet(w io.Writer, ps *PlaneSet) error {
+	if ps.bands != nil {
+		return errors.New("core: banded plane sets persist through the segment store, not SavePlaneSet")
+	}
 	bw := bufio.NewWriter(w)
 	lw := &leWriter{w: bw}
 	if _, err := bw.Write(planeMagic[:]); err != nil {
@@ -393,8 +396,13 @@ func LoadPlaneSet(r io.Reader) (*PlaneSet, error) {
 
 // SavePool writes a pool (parameters + every plane set payload) in the
 // checksummed v2 format. Sizes are written in sorted key order so output
-// is deterministic.
+// is deterministic. Banded pools are rejected: their sealed lanes
+// already live in immutable segment files (internal/segstore), which is
+// the persistence path for segment mode.
 func SavePool(w io.Writer, pl *Pool) error {
+	if pl.banded {
+		return errors.New("core: banded pools persist through the segment store, not SavePool")
+	}
 	bw := bufio.NewWriter(w)
 	lw := &leWriter{w: bw}
 	if _, err := bw.Write(poolMagic[:]); err != nil {

@@ -24,6 +24,41 @@ type PlaneSet struct {
 	sk         *Sketcher
 	rows, cols int       // valid positions: tableRows-a+1 × tableCols-b+1
 	data       []float64 // data[(r*cols+c)*k + i]
+
+	// bands, when non-nil, replaces data with a partition of the anchor
+	// columns into contiguous bands, each stored row-major WITHIN the
+	// band: band entry (r, c, i) lives at band.data[(r*(c1-c0)+c-c0)*k+i].
+	// Sealed bands view externally owned memory (a segment file mapping);
+	// the final band is the heap-resident fringe the panel builder writes
+	// into. A nil bands slice is the plain contiguous heap layout above.
+	bands []laneBand
+}
+
+// laneBand is one contiguous column band of a banded plane set: anchor
+// columns [c0, c1), stored row-major within the band. ext marks data as
+// externally owned (typically a read-only memory mapping): it must never
+// be written and is not counted as heap memory.
+type laneBand struct {
+	c0, c1 int
+	data   []float64
+	ext    bool
+}
+
+// locate returns the backing slice and element offset of position (r, c)
+// under either layout.
+func (ps *PlaneSet) locate(r, c int) ([]float64, int) {
+	k := ps.sk.k
+	if ps.bands == nil {
+		return ps.data, (r*ps.cols + c) * k
+	}
+	for bi := range ps.bands {
+		b := &ps.bands[bi]
+		if c < b.c1 {
+			return b.data, (r*(b.c1-b.c0) + c - b.c0) * k
+		}
+	}
+	panic(fmt.Sprintf("core: anchor column %d beyond banded plane set (%d bands, cols %d)",
+		c, len(ps.bands), ps.cols))
 }
 
 // TablePlan is the frequency-domain correlation plan of one table: its
@@ -171,8 +206,8 @@ func (ps *PlaneSet) SketchAt(r, c int, dst []float64) []float64 {
 		dst = make([]float64, k)
 	}
 	dst = dst[:k]
-	base := (r*ps.cols + c) * k
-	copy(dst, ps.data[base:base+k])
+	src, base := ps.locate(r, c)
+	copy(dst, src[base:base+k])
 	return dst
 }
 
@@ -186,9 +221,41 @@ func (ps *PlaneSet) AddSketchAt(r, c int, dst []float64) {
 	if len(dst) != ps.sk.k {
 		panic(fmt.Sprintf("core: AddSketchAt dst length %d != k=%d", len(dst), ps.sk.k))
 	}
-	base := (r*ps.cols + c) * ps.sk.k
+	src, base := ps.locate(r, c)
 	for i := range dst {
-		dst[i] += ps.data[base+i]
+		dst[i] += src[base+i]
+	}
+}
+
+// copyCols copies anchor columns [c0, c1) of the plane set into dst,
+// row-major within the band (the layout a laneBand of width c1-c0 uses),
+// under either storage layout. dst must have ps.rows*(c1-c0)*k elements.
+func (ps *PlaneSet) copyCols(c0, c1 int, dst []float64) {
+	k := ps.sk.k
+	w := c1 - c0
+	if ps.bands == nil {
+		for r := 0; r < ps.rows; r++ {
+			copy(dst[r*w*k:(r*w+w)*k], ps.data[(r*ps.cols+c0)*k:(r*ps.cols+c1)*k])
+		}
+		return
+	}
+	for bi := range ps.bands {
+		b := &ps.bands[bi]
+		lo, hi := c0, c1
+		if b.c0 > lo {
+			lo = b.c0
+		}
+		if b.c1 < hi {
+			hi = b.c1
+		}
+		if lo >= hi {
+			continue
+		}
+		bw := b.c1 - b.c0
+		for r := 0; r < ps.rows; r++ {
+			copy(dst[(r*w+lo-c0)*k:(r*w+hi-c0)*k],
+				b.data[(r*bw+lo-b.c0)*k:(r*bw+hi-b.c0)*k])
+		}
 	}
 }
 

@@ -85,6 +85,14 @@ type Pool struct {
 	baseCol    int // absolute stream column of table column 0
 	opts       PoolOptions
 	entries    map[[2]int][compoundSets]*PlaneSet
+
+	// banded marks a pool whose plane sets use the banded column layout
+	// (NewBandedPool / Reband / TrimSealed): anchor columns [0, sealed)
+	// are sealed bands viewing externally owned memory (segment file
+	// mappings), the rest is the heap fringe. sealed is in table-column
+	// units, uniform across lanes. Heap pools have banded=false, sealed=0.
+	banded bool
+	sealed int
 }
 
 // NewPool precomputes plane sets for every configured dyadic size over t.
@@ -166,7 +174,7 @@ func NewPool(t *table.Table, p float64, k int, seed uint64, opts PoolOptions) (*
 			sets[jb.s] = results[n]
 			pl.entries[[2]int{jb.i, jb.j}] = sets
 		}
-		if err := pl.buildPanels(ctx, t, workers, 0); err != nil {
+		if err := pl.buildPanels(ctx, t, workers, 0, 0); err != nil {
 			return nil, err
 		}
 		return pl, nil
@@ -402,14 +410,40 @@ func (pl *Pool) Distance(a, b table.Rect) (float64, error) {
 // MemoryBytes reports the approximate heap footprint of the pool's
 // precomputed payloads (plane-set data plus the regenerable random
 // matrices), the quantity to budget when choosing PoolOptions for big
-// tables.
+// tables. Sealed bands viewing externally owned memory (segment
+// mappings) are excluded — see MappedBytes.
 func (pl *Pool) MemoryBytes() int64 {
 	var total int64
 	for _, sets := range pl.entries {
 		for _, ps := range sets {
-			total += int64(len(ps.data)) * 8
+			if ps.bands == nil {
+				total += int64(len(ps.data)) * 8
+			} else {
+				for bi := range ps.bands {
+					if !ps.bands[bi].ext {
+						total += int64(len(ps.bands[bi].data)) * 8
+					}
+				}
+			}
 			sk := ps.sk
 			total += int64(sk.k) * int64(sk.rows) * int64(sk.cols) * 8
+		}
+	}
+	return total
+}
+
+// MappedBytes reports how many plane-set bytes view externally owned
+// memory (typically read-only segment-file mappings) rather than the Go
+// heap. Zero for heap pools.
+func (pl *Pool) MappedBytes() int64 {
+	var total int64
+	for _, sets := range pl.entries {
+		for _, ps := range sets {
+			for bi := range ps.bands {
+				if ps.bands[bi].ext {
+					total += int64(len(ps.bands[bi].data)) * 8
+				}
+			}
 		}
 	}
 	return total

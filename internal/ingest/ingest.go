@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/segstore"
 	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/tabstore"
@@ -66,6 +67,14 @@ type Options struct {
 	// checksummed snapshot format) after every rebuild, enabling
 	// crash-safe Resume.
 	PoolFile string
+	// SegmentDir, when non-empty, selects segment mode: the sealed
+	// prefix of the pool persists as immutable memory-mapped segment
+	// files under this directory (internal/segstore) instead of a
+	// monolithic pool snapshot. Restart maps the segments and rebuilds
+	// only the unsealed fringe — no day replay — and window trimming
+	// becomes whole-segment deletion. Mutually exclusive with PoolFile;
+	// requires a power-of-two PanelCols (the default 32 qualifies).
+	SegmentDir string
 	// Poll, when positive, re-reads the store manifest this often so
 	// days appended by another process are picked up (tail mode).
 	Poll time.Duration
@@ -95,10 +104,20 @@ type Ingester struct {
 	mu     sync.Mutex
 	cursor int // store days already incorporated into the pool
 
-	winStart int          // first store day inside the window
-	base     int          // absolute column of winStart (== pool.BaseCol())
+	winStart int          // first store day (fully or partly) inside the window
+	base     int          // absolute column of the window start (== pool.BaseCol())
 	tb       *table.Table // the window's columns, stitched
 	pool     *core.Pool
+
+	// Segment-mode state: the segment store and the working view the
+	// current pool's sealed bands are mapped through. The working view is
+	// swapped after every maintenance round; published snapshots hold
+	// their own clones, so compaction reclaims files only after the last
+	// snapshot referencing them retires. In pool-file mode both are nil.
+	// Note that in segment mode base is aligned to segments, not days, so
+	// winStart's day may be only partly inside the window.
+	segs *segstore.Store
+	view *segstore.View
 }
 
 // New builds an Ingester over an opened store. Call Resume to restore
@@ -119,6 +138,15 @@ func New(store *tabstore.Store, opts Options) (*Ingester, error) {
 	if opts.Pool.PanelCols < 0 {
 		return nil, fmt.Errorf("ingest: negative PanelCols")
 	}
+	if opts.SegmentDir != "" {
+		if opts.PoolFile != "" {
+			return nil, fmt.Errorf("ingest: SegmentDir and PoolFile are mutually exclusive")
+		}
+		if opts.Pool.PanelCols&(opts.Pool.PanelCols-1) != 0 {
+			return nil, fmt.Errorf("ingest: segment mode requires a power-of-two PanelCols, got %d",
+				opts.Pool.PanelCols)
+		}
+	}
 	if opts.WindowDays < 0 || opts.QueueLen < 0 {
 		return nil, fmt.Errorf("ingest: negative WindowDays or QueueLen")
 	}
@@ -135,6 +163,25 @@ func New(store *tabstore.Store, opts Options) (*Ingester, error) {
 // the Resume/Run goroutine; other goroutines should query through the
 // published snapshots instead.
 func (ing *Ingester) Pool() *core.Pool { return ing.pool }
+
+// Close releases segment-mode resources: the working view's pins and
+// the segment store's own mappings. Published snapshots hold their own
+// view clones, so closing the ingester never unmaps a snapshot that is
+// still serving. The pool must not be queried after Close (its sealed
+// bands may be backed by the released mappings). Pool-file mode holds
+// no such resources and Close is a no-op. Owned, like the pool, by the
+// Resume/Run goroutine.
+func (ing *Ingester) Close() {
+	if ing.view != nil {
+		ing.view.Release()
+		ing.view = nil
+	}
+	if ing.segs != nil {
+		ing.segs.Close()
+		ing.segs = nil
+	}
+	ing.pool = nil
+}
 
 // Pending reports how many store days await incorporation.
 func (ing *Ingester) Pending() int {
@@ -182,12 +229,17 @@ func (ing *Ingester) signal() {
 	}
 }
 
-// Resume restores the persisted pool (when PoolFile is set and holds a
-// usable snapshot), replays every store day past its high-water column,
-// and publishes the caught-up snapshot. The store is the authority: an
-// unusable or mismatched pool file just means a from-scratch rebuild.
+// Resume restores the persisted pool (the memory-mapped segment store
+// in segment mode, the PoolFile snapshot otherwise), replays every
+// store day past its high-water column, and publishes the caught-up
+// snapshot. The store is the authority: an unusable or mismatched pool
+// file just means a from-scratch rebuild.
 func (ing *Ingester) Resume(ctx context.Context) error {
-	if ing.opts.PoolFile != "" {
+	if ing.opts.SegmentDir != "" {
+		if err := ing.resumeSegments(ctx); err != nil {
+			return err
+		}
+	} else if ing.opts.PoolFile != "" {
 		pool, err := core.LoadPoolFile(ing.opts.PoolFile)
 		switch {
 		case errors.Is(err, fs.ErrNotExist):
@@ -202,6 +254,7 @@ func (ing *Ingester) Resume(ctx context.Context) error {
 					pool.HighWaterCols(), ing.store.ColsTotal())
 			}
 		}
+		segstore.SetRestartReplayDays(ing.Pending())
 	}
 	if err := ing.drain(ctx); err != nil {
 		return err
@@ -216,7 +269,12 @@ func (ing *Ingester) Resume(ctx context.Context) error {
 
 // publish builds a serving snapshot over the current window and hands
 // it to the Publisher. No-op without a Publisher, a snapshot geometry,
-// or a pool.
+// or a pool. In segment mode the snapshot holds its own clone of the
+// working segment view, released when the snapshot's last reference
+// drops — that clone is what defers file reclamation until no query
+// can still read the mapping. The ingester's own snapshot reference is
+// released after publishing: a Publisher that keeps the snapshot (the
+// server does, via Swap's retain) must hold its own reference.
 func (ing *Ingester) publish(ctx context.Context) error {
 	if ing.opts.Publisher == nil || ing.opts.Snapshot.TileRows <= 0 || ing.pool == nil {
 		return nil
@@ -225,8 +283,229 @@ func (ing *Ingester) publish(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if ing.view != nil {
+		cl := ing.view.Clone()
+		sn.OnRelease(cl.Release)
+	}
 	ing.opts.Publisher.Publish(sn)
+	sn.Release()
 	return nil
+}
+
+// segParams derives the segment-store parameter block binding segment
+// files to this ingester's pool geometry. Valid only once the store has
+// at least one day (Rows is 0 before that).
+func (ing *Ingester) segParams() segstore.Params {
+	po := ing.opts.Pool
+	return segstore.Params{
+		P: ing.opts.PoolP, K: ing.opts.PoolK, Rows: ing.store.Rows(), Seed: ing.opts.PoolSeed,
+		MinLogRows: po.MinLogRows, MaxLogRows: po.MaxLogRows,
+		MinLogCols: po.MinLogCols, MaxLogCols: po.MaxLogCols,
+		Estimator: po.Estimator, PanelCols: po.PanelCols,
+	}
+}
+
+// ensureSegs lazily opens the segment store; it needs the table row
+// count, which is unknown until the tabstore holds a day.
+func (ing *Ingester) ensureSegs() error {
+	if ing.segs != nil {
+		return nil
+	}
+	st, err := segstore.Open(ing.opts.SegmentDir, ing.segParams())
+	if err != nil {
+		return err
+	}
+	ing.segs = st
+	return nil
+}
+
+// resumeSegments is segment-mode restart: map the live segment set and
+// build one banded pool over the window table whose sealed prefix is
+// the mapping — no day-by-day replay, one fringe FFT pass regardless of
+// how many days the segments cover. The restart-replay-days expvar gets
+// the number of store days lying entirely past the sealed prefix (0
+// once a store has sealed past its fringe; the mmap-demo drill asserts
+// exactly that).
+func (ing *Ingester) resumeSegments(ctx context.Context) error {
+	total := ing.store.NumDays()
+	if total == 0 {
+		segstore.SetRestartReplayDays(0)
+		return nil // first boot of an empty store; drain builds from scratch
+	}
+	if err := ing.ensureSegs(); err != nil {
+		return err
+	}
+	base, sealed := ing.segs.BaseCol(), ing.segs.SealedCol()
+	day, dayStart, err := ing.dayContaining(base)
+	if err != nil {
+		return err
+	}
+	tb, err := ing.store.LoadRange(day, total)
+	if err != nil {
+		return err
+	}
+	if base > dayStart {
+		// The window base falls mid-day (segment alignment, not day
+		// alignment): drop the leading columns of the partial day.
+		tb = tb.Sub(table.Rect{R0: 0, C0: base - dayStart, Rows: tb.Rows(), Cols: tb.Cols() - (base - dayStart)})
+	}
+	// A day counts as replayed only when the sealed prefix should have
+	// covered it but does not: days at or past the window's sealable
+	// limit are fringe by construction — even a graceful restart
+	// re-sketches them — so they are not replay debt. After a drained
+	// maintenance round sealed == the limit and the count is 0.
+	align := max(ing.opts.Pool.PanelCols, 1<<ing.opts.Pool.MaxLogCols)
+	sealable := base + core.FloorAlign(tb.Cols()-1<<ing.opts.Pool.MaxLogCols+1, align)
+	replay := 0
+	for i, off := day, dayStart; i < total; i++ {
+		if off >= sealed && off < sealable {
+			replay++
+		}
+		w, err := ing.store.DayCols(i)
+		if err != nil {
+			return err
+		}
+		off += w
+	}
+	v := ing.segs.Acquire()
+	opts := ing.opts.Pool
+	opts.BaseCol = base
+	opts.Context = ctx
+	pool, err := core.NewBandedPool(tb, ing.opts.PoolP, ing.opts.PoolK, ing.opts.PoolSeed, opts, v.Bands(base))
+	if err != nil {
+		v.Release()
+		return fmt.Errorf("ingest: mapping segment store into a pool: %w", err)
+	}
+	ing.view = v
+	// Run one maintenance round so the replayed fringe seals immediately:
+	// a crash right after resume then replays nothing on the next boot.
+	tb, pool, day, base, err = ing.maintainSegments(ctx, tb, pool, day, base, total)
+	if err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.cursor = total
+	ing.mu.Unlock()
+	ing.winStart, ing.base = day, base
+	ing.tb, ing.pool = tb, pool
+	segstore.SetRestartReplayDays(replay)
+	ing.opts.Logf("ingest: resumed from %d mapped segments (columns [%d,%d) sealed, %d of %d days replayed)",
+		v.NumSegments(), base, sealed, replay, total)
+	return nil
+}
+
+// maintainSegments is the segment-mode maintenance round run after every
+// pool build or append: seal the pool's newly sealable columns as an L0
+// segment, trim the window by whole segments if it overflowed, run at
+// most one compaction merge, and reband the pool onto a fresh view of
+// the live set so its sealed prefix reads from the mappings. Returns the
+// (possibly trimmed) window table and the rebanded pool with the updated
+// window coordinates; ing.view is swapped to the fresh view.
+func (ing *Ingester) maintainSegments(ctx context.Context, tb *table.Table, pool *core.Pool, winStart, base, target int) (*table.Table, *core.Pool, int, int, error) {
+	fail := func(err error) (*table.Table, *core.Pool, int, int, error) { return nil, nil, 0, 0, err }
+	if err := ing.ensureSegs(); err != nil {
+		return fail(err)
+	}
+	sealed := ing.segs.SealedCol()
+	if sealed < base {
+		return fail(fmt.Errorf("ingest: segment store sealed to column %d, before window base %d", sealed, base))
+	}
+	if sealTo := base + pool.SealableCols(); sealTo > sealed {
+		if err := ing.segs.WriteL0(pool, sealed, sealTo); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Window trim is whole-segment deletion: drop every segment lying
+	// entirely before the day the window should retreat to, clamped so
+	// the window keeps at least one maximal tile. The trimmed pool is
+	// rebuilt banded below — sealed bytes are adopted from the mappings,
+	// so only the fringe costs FFT work.
+	if ing.opts.WindowDays > 0 && target-winStart > ing.opts.WindowDays {
+		keep := (ing.opts.WindowDays + 1) / 2
+		newStart := target - keep
+		ing.mu.Lock()
+		keepFrom := 0
+		var derr error
+		for i := 0; i < newStart && derr == nil; i++ {
+			var w int
+			w, derr = ing.store.DayCols(i)
+			keepFrom += w
+		}
+		ing.mu.Unlock()
+		if derr != nil {
+			return fail(derr)
+		}
+		if lim := base + tb.Cols() - 1<<ing.opts.Pool.MaxLogCols; keepFrom > lim {
+			keepFrom = lim
+		}
+		newBase, err := ing.segs.Trim(keepFrom)
+		if err != nil {
+			return fail(err)
+		}
+		if drop := newBase - base; drop > 0 {
+			rows := tb.Rows()
+			trimmed := table.New(rows, tb.Cols()-drop)
+			for r := 0; r < rows; r++ {
+				copy(trimmed.Row(r), tb.Row(r)[drop:])
+			}
+			day, _, err := ing.dayContaining(newBase)
+			if err != nil {
+				return fail(err)
+			}
+			ing.opts.Logf("ingest: window trimmed to columns [%d, %d) (%d cols of segments dropped)",
+				newBase, newBase+trimmed.Cols(), drop)
+			tb, winStart, base = trimmed, day, newBase
+			pool = nil // rebuilt over the trimmed window below
+		}
+	}
+
+	if did, err := ing.segs.Compact(segstore.DefaultCompactFanout); err != nil {
+		// A failed merge leaves the live set unchanged; sealing and
+		// serving continue, so log and move on.
+		ing.opts.Logf("ingest: compaction failed: %v", err)
+	} else if did {
+		ing.opts.Logf("ingest: compacted segments (%d live files)", len(ing.segs.SegmentFiles()))
+	}
+
+	v := ing.segs.Acquire()
+	var err error
+	if pool == nil {
+		opts := ing.opts.Pool
+		opts.BaseCol = base
+		opts.Context = ctx
+		pool, err = core.NewBandedPool(tb, ing.opts.PoolP, ing.opts.PoolK, ing.opts.PoolSeed, opts, v.Bands(base))
+	} else {
+		pool, err = pool.Reband(v.Bands(base))
+	}
+	if err != nil {
+		v.Release()
+		return fail(err)
+	}
+	if ing.view != nil {
+		ing.view.Release()
+	}
+	ing.view = v
+	return tb, pool, winStart, base, nil
+}
+
+// dayContaining maps an absolute column to the store day containing it
+// and that day's first absolute column.
+func (ing *Ingester) dayContaining(col int) (day, dayStart int, err error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	off := 0
+	for i := 0; i < ing.store.NumDays(); i++ {
+		w, err := ing.store.DayCols(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		if col < off+w {
+			return i, off, nil
+		}
+		off += w
+	}
+	return 0, 0, fmt.Errorf("ingest: no store day contains column %d", col)
 }
 
 // adopt validates a loaded pool against the store and the configured
@@ -388,7 +667,12 @@ func (ing *Ingester) step(ctx context.Context) (bool, error) {
 		return false, err
 	}
 
-	if ing.opts.WindowDays > 0 && target-winStart > ing.opts.WindowDays {
+	if ing.opts.SegmentDir != "" {
+		next, pool, winStart, base, err = ing.maintainSegments(ctx, next, pool, winStart, base, target)
+		if err != nil {
+			return false, err
+		}
+	} else if ing.opts.WindowDays > 0 && target-winStart > ing.opts.WindowDays {
 		// Hysteresis: trim to about half the bound so the rebuild cost
 		// amortizes over many appends instead of recurring per day.
 		keep := (ing.opts.WindowDays + 1) / 2

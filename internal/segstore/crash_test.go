@@ -1,0 +1,235 @@
+package segstore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/table"
+)
+
+// globalFault injects one deterministic write failure across every file
+// an operation writes (segment file, then manifest) — a process-global
+// write counter, so FailAt sweeps the full kill matrix: every write of
+// every file, hard (nothing lands) and torn (half the buffer lands).
+type globalFault struct {
+	mu     sync.Mutex
+	count  int
+	failAt int
+	short  bool
+}
+
+func (g *globalFault) wrap(path string, w io.Writer) io.Writer {
+	return &globalFaultWriter{g: g, w: w}
+}
+
+type globalFaultWriter struct {
+	g *globalFault
+	w io.Writer
+}
+
+func (fw *globalFaultWriter) Write(p []byte) (int, error) {
+	fw.g.mu.Lock()
+	fw.g.count++
+	c := fw.g.count
+	fw.g.mu.Unlock()
+	if fw.g.failAt > 0 && c == fw.g.failAt {
+		if fw.g.short && len(p) > 1 {
+			n, err := fw.w.Write(p[:len(p)/2])
+			if err == nil {
+				err = faultinject.ErrInjected
+			}
+			return n, err
+		}
+		return 0, faultinject.ErrInjected
+	}
+	return fw.w.Write(p)
+}
+
+// crashFixture is one pre-op store state: a directory with sealed
+// segments, the live store and pool, and the pre-op manifest snapshot.
+type crashFixture struct {
+	dir    string
+	st     *Store
+	pool   *core.Pool
+	tb     *table.Table
+	before map[string]int64 // pre-op segment files and their sizes
+}
+
+// newCrashFixture seals the first sealN aligned 4-column chunks of a
+// 20-column table into the store.
+func newCrashFixture(t *testing.T, sealN int) *crashFixture {
+	t.Helper()
+	p := testParams()
+	dir := t.TempDir()
+	tb := testTable(t, p.Rows, 20, 0)
+	st, err := Open(dir, p)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	pool := mustBanded(t, tb, p, 0, nil)
+	for n := 0; n < sealN; n++ {
+		if err := st.WriteL0(pool, n*4, (n+1)*4); err != nil {
+			t.Fatalf("seal %d: %v", n, err)
+		}
+	}
+	fx := &crashFixture{dir: dir, st: st, pool: pool, tb: tb, before: map[string]int64{}}
+	for _, f := range st.SegmentFiles() {
+		fi, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.before[f] = fi.Size()
+	}
+	return fx
+}
+
+// checkPostCrash verifies the directory after a failed mutation, as a
+// restarting process would see it: no stray temps, a readable and valid
+// manifest naming exactly the pre-op set, every pre-op segment file
+// intact byte-for-byte in size, and a fresh Open serving answers
+// identical to the reference heap pool.
+func (fx *crashFixture) checkPostCrash(t *testing.T, label string, heap *core.Pool) {
+	t.Helper()
+	dirents, err := os.ReadDir(fx.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if atomicio.IsTemp(de.Name()) {
+			t.Fatalf("%s: stray temp %q leaked", label, de.Name())
+		}
+	}
+	man, err := readManifest(fx.dir)
+	if err != nil {
+		t.Fatalf("%s: manifest unreadable after fault: %v", label, err)
+	}
+	if len(man.Segments) != len(fx.before) {
+		t.Fatalf("%s: manifest names %d segments, pre-op set had %d",
+			label, len(man.Segments), len(fx.before))
+	}
+	for _, e := range man.Segments {
+		want, ok := fx.before[e.File]
+		if !ok {
+			t.Fatalf("%s: manifest names %q, not in the pre-op set", label, e.File)
+		}
+		fi, err := os.Stat(filepath.Join(fx.dir, e.File))
+		if err != nil || fi.Size() != want {
+			t.Fatalf("%s: pre-op segment %q damaged (size %v, err %v)", label, e.File, fi, err)
+		}
+	}
+	st2, err := Open(fx.dir, testParams())
+	if err != nil {
+		t.Fatalf("%s: reopen after fault: %v", label, err)
+	}
+	defer st2.Close()
+	v := st2.Acquire()
+	defer v.Release()
+	pool := mustBanded(t, fx.tb, testParams(), 0, v.Bands(0))
+	assertPoolsIdentical(t, heap, pool, label+": restart answers")
+}
+
+// countOpWrites runs op once with a pure counting wrapper installed and
+// returns how many Write calls it made across all files.
+func countOpWrites(t *testing.T, sealN int, op func(*crashFixture) error) int {
+	t.Helper()
+	fx := newCrashFixture(t, sealN)
+	defer fx.st.Close()
+	g := &globalFault{}
+	atomicio.TestWrapWriter = g.wrap
+	defer func() { atomicio.TestWrapWriter = nil }()
+	if err := op(fx); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if g.count == 0 {
+		t.Fatal("operation made no writes; the matrix would be empty")
+	}
+	return g.count
+}
+
+// TestWriteL0CrashMatrix kills the segment writer at every write, hard
+// and torn: the manifest must stay consistent, no temps may leak, old
+// segments must be untouched, and a restart must serve the pre-op set.
+func TestWriteL0CrashMatrix(t *testing.T) {
+	p := testParams()
+	heapPool := mustHeap(t, testTable(t, p.Rows, 20, 0), p, 0)
+	op := func(fx *crashFixture) error { return fx.st.WriteL0(fx.pool, 12, 16) }
+	total := countOpWrites(t, 3, op)
+	for failAt := 1; failAt <= total; failAt++ {
+		for _, short := range []bool{false, true} {
+			fx := newCrashFixture(t, 3)
+			g := &globalFault{failAt: failAt, short: short}
+			atomicio.TestWrapWriter = g.wrap
+			err := op(fx)
+			atomicio.TestWrapWriter = nil
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("write %d/%d short=%v: got %v, want injected fault", failAt, total, short, err)
+			}
+			label := "writeL0 kill@" + itoa(failAt) + map[bool]string{false: " hard", true: " torn"}[short]
+			fx.checkPostCrash(t, label, heapPool)
+			fx.st.Close()
+		}
+	}
+}
+
+// TestCompactCrashMatrix kills the compactor at every write of the
+// merged segment and the manifest swap: a restart must serve the
+// pre-compaction segment set with identical answers (the
+// SIGKILL-during-compaction drill, exercised at every kill point).
+func TestCompactCrashMatrix(t *testing.T) {
+	p := testParams()
+	heapPool := mustHeap(t, testTable(t, p.Rows, 20, 0), p, 0)
+	op := func(fx *crashFixture) error {
+		_, err := fx.st.Compact(4)
+		return err
+	}
+	total := countOpWrites(t, 4, op)
+	for failAt := 1; failAt <= total; failAt++ {
+		for _, short := range []bool{false, true} {
+			fx := newCrashFixture(t, 4)
+			g := &globalFault{failAt: failAt, short: short}
+			atomicio.TestWrapWriter = g.wrap
+			before := ReadStats()
+			err := op(fx)
+			atomicio.TestWrapWriter = nil
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("write %d/%d short=%v: got %v, want injected fault", failAt, total, short, err)
+			}
+			if d := ReadStats().CompactFail - before.CompactFail; d != 1 {
+				t.Fatalf("write %d/%d short=%v: failed-compactions delta %d, want 1", failAt, total, short, d)
+			}
+			label := "compact kill@" + itoa(failAt) + map[bool]string{false: " hard", true: " torn"}[short]
+			fx.checkPostCrash(t, label, heapPool)
+			// The store that observed the failure (not just a restart) must
+			// also still serve the pre-compaction set, and a retried
+			// compaction must succeed.
+			if n := len(fx.st.Segments()); n != 4 {
+				t.Fatalf("%s: live store has %d segments, want pre-compaction 4", label, n)
+			}
+			if did, err := fx.st.Compact(4); err != nil || !did {
+				t.Fatalf("%s: retry compaction: did=%v err=%v", label, did, err)
+			}
+			fx.st.Close()
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

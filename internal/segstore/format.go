@@ -1,0 +1,400 @@
+// Package segstore is the append-only, log-structured segment store for
+// pool lanes: the persistence layer of segment-mode serving. A segment
+// is one immutable, CRC32C-framed, page-aligned file holding every
+// sketch lane of a contiguous column band of the stream — the sealed
+// prefix of a panel-mode pool (see core.NewBandedPool). A small
+// manifest (written atomically, fsck-able) names the live segment set
+// per level. Serving maps segments read-only and hands the mapped lane
+// bytes to core as sealed bands, so queries read them with zero copies;
+// restart is O(open): map the manifest's segments, rebuild only the
+// unsealed fringe, and serve — no WAL day replay.
+//
+// Lifecycle is LSM-ish: the ingester seals each drained batch's mature
+// columns as a level-0 segment, a compactor merges runs of small
+// same-level segments into level-tiered larger ones (immutable in,
+// immutable out, atomic manifest swap), and window trimming deletes
+// whole leading segments. Old files are unlinked only after the last
+// pool/snapshot reference drops (refcounted views), so queries in
+// flight never observe an unmapped page.
+package segstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Segment file layout (version 1, all integers little-endian):
+//
+//	magic "SKSG" | u32 version
+//	u64 headerLen | header payload | u32 CRC32C(payload)
+//	zero padding to the first 4096-aligned blob offset
+//	lane blobs, each at a 4096-aligned offset, float64 LE, row-major
+//	within the band: element (r, c, i) at (r·(t1−t0) + c − t0)·k + i
+//
+// Header payload:
+//
+//	f64 p | u64 k | u64 rows | u64 seed
+//	u32 minLogRows | u32 maxLogRows | u32 minLogCols | u32 maxLogCols
+//	u32 estimator | u32 panelCols
+//	u32 level | u64 seq | u64 t0 | u64 t1
+//	u32 laneCount | laneCount × (u32 i | u32 j | u32 s | u64 off | u64 floats | u32 crc)
+//
+// t0/t1 are absolute stream columns. Lane records are sorted in
+// canonical (i, j, s) order. Page-aligned offsets guarantee the 8-byte
+// alignment the zero-copy float64 reinterpretation of a mapping needs.
+// Blob bytes are little-endian, which the zero-copy float64 view
+// assumes of the host as well (every supported platform is
+// little-endian).
+
+var segMagic = [4]byte{'S', 'K', 'S', 'G'}
+
+const (
+	segVersion   = 1
+	segPageAlign = 4096
+	// maxHeaderLen bounds the framed header a reader will buffer; far
+	// above any real lane count, far below anything dangerous.
+	maxHeaderLen = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Params are the pool parameters a segment set is bound to. Every
+// segment of a store must agree with the store's manifest; a mismatch
+// is a configuration error, never silently rebuilt.
+type Params struct {
+	P          float64
+	K          int
+	Rows       int // table rows
+	Seed       uint64
+	MinLogRows int
+	MaxLogRows int
+	MinLogCols int
+	MaxLogCols int
+	Estimator  core.Estimator
+	PanelCols  int
+}
+
+// SegAlign returns the column granularity segments are cut at:
+// max(PanelCols, 2^MaxLogCols), the panel-grid alignment that keeps
+// sealed bytes identical to what a from-scratch build produces.
+func (p Params) SegAlign() int {
+	a := p.PanelCols
+	if b := 1 << p.MaxLogCols; b > a {
+		a = b
+	}
+	return a
+}
+
+func (p Params) validate() error {
+	if p.K <= 0 || p.K > 1<<24 || p.Rows <= 0 || p.Rows > 1<<24 {
+		return fmt.Errorf("segstore: implausible params k=%d rows=%d", p.K, p.Rows)
+	}
+	if p.MinLogRows < 0 || p.MinLogRows > p.MaxLogRows || p.MaxLogRows > 30 ||
+		p.MinLogCols < 0 || p.MinLogCols > p.MaxLogCols || p.MaxLogCols > 30 {
+		return fmt.Errorf("segstore: invalid dyadic size range %+v", p)
+	}
+	if p.PanelCols <= 0 || p.PanelCols&(p.PanelCols-1) != 0 {
+		return fmt.Errorf("segstore: PanelCols %d must be a positive power of two", p.PanelCols)
+	}
+	if !(p.P > 0) || math.IsInf(p.P, 0) {
+		return fmt.Errorf("segstore: invalid p=%v", p.P)
+	}
+	return nil
+}
+
+// laneRows returns the anchor-row count of lane id's plane.
+func (p Params) laneRows(i int) int { return p.Rows - 1<<i + 1 }
+
+// lanes returns the canonical lane order of a pool with these params.
+func (p Params) lanes() []core.LaneID {
+	var ids []core.LaneID
+	for i := p.MinLogRows; i <= p.MaxLogRows; i++ {
+		for j := p.MinLogCols; j <= p.MaxLogCols; j++ {
+			for s := 0; s < 4; s++ {
+				ids = append(ids, core.LaneID{I: i, J: j, S: s})
+			}
+		}
+	}
+	return ids
+}
+
+// laneMeta is one lane's blob record in a segment header.
+type laneMeta struct {
+	ID     core.LaneID
+	Off    int64
+	Floats int64
+	CRC    uint32
+}
+
+// segHeader is a parsed segment file header.
+type segHeader struct {
+	Params Params
+	Level  int
+	Seq    uint64
+	T0, T1 int
+	Lanes  []laneMeta
+}
+
+// headerFrameLen returns the byte length of the framed header (magic
+// through payload CRC) for n lanes — fixed-size records, so offsets can
+// be laid out before encoding.
+func headerFrameLen(n int) int {
+	payload := 8 + 8 + 8 + 8 + // p, k, rows, seed
+		6*4 + // size range, estimator, panelCols
+		4 + 8 + 8 + 8 + // level, seq, t0, t1
+		4 + n*(4+4+4+8+8+4)
+	return 4 + 4 + 8 + payload + 4
+}
+
+func (h *segHeader) encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(segMagic[:])
+	le := func(v uint64, n int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:n])
+	}
+	le(segVersion, 4)
+
+	var payload bytes.Buffer
+	pw := func(v uint64, n int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		payload.Write(b[:n])
+	}
+	pw(math.Float64bits(h.Params.P), 8)
+	pw(uint64(h.Params.K), 8)
+	pw(uint64(h.Params.Rows), 8)
+	pw(h.Params.Seed, 8)
+	pw(uint64(h.Params.MinLogRows), 4)
+	pw(uint64(h.Params.MaxLogRows), 4)
+	pw(uint64(h.Params.MinLogCols), 4)
+	pw(uint64(h.Params.MaxLogCols), 4)
+	pw(uint64(h.Params.Estimator), 4)
+	pw(uint64(h.Params.PanelCols), 4)
+	pw(uint64(h.Level), 4)
+	pw(h.Seq, 8)
+	pw(uint64(h.T0), 8)
+	pw(uint64(h.T1), 8)
+	pw(uint64(len(h.Lanes)), 4)
+	for _, lm := range h.Lanes {
+		pw(uint64(lm.ID.I), 4)
+		pw(uint64(lm.ID.J), 4)
+		pw(uint64(lm.ID.S), 4)
+		pw(uint64(lm.Off), 8)
+		pw(uint64(lm.Floats), 8)
+		pw(uint64(lm.CRC), 4)
+	}
+	le(uint64(payload.Len()), 8)
+	buf.Write(payload.Bytes())
+	le(uint64(crc32.Checksum(payload.Bytes(), crcTable)), 4)
+	return buf.Bytes()
+}
+
+// parseSegHeader reads and validates the framed header from r.
+func parseSegHeader(r io.Reader) (*segHeader, error) {
+	var fixed [16]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("segstore: reading segment header: %w", err)
+	}
+	if !bytes.Equal(fixed[:4], segMagic[:]) {
+		return nil, fmt.Errorf("segstore: bad segment magic %q", fixed[:4])
+	}
+	if v := binary.LittleEndian.Uint32(fixed[4:8]); v != segVersion {
+		return nil, fmt.Errorf("segstore: unsupported segment version %d", v)
+	}
+	plen := binary.LittleEndian.Uint64(fixed[8:16])
+	if plen == 0 || plen > maxHeaderLen {
+		return nil, fmt.Errorf("segstore: implausible header length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("segstore: reading segment header payload: %w", err)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r, crcb[:]); err != nil {
+		return nil, fmt.Errorf("segstore: reading segment header CRC: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(crcb[:]); got != want {
+		return nil, fmt.Errorf("segstore: segment header CRC mismatch (got %08x, want %08x)", got, want)
+	}
+
+	h := &segHeader{}
+	pos := 0
+	rd := func(n int) (uint64, bool) {
+		if pos+n > len(payload) {
+			return 0, false
+		}
+		var b [8]byte
+		copy(b[:], payload[pos:pos+n])
+		pos += n
+		return binary.LittleEndian.Uint64(b[:]), true
+	}
+	ok := true
+	get := func(n int) uint64 {
+		v, o := rd(n)
+		ok = ok && o
+		return v
+	}
+	h.Params.P = math.Float64frombits(get(8))
+	h.Params.K = int(get(8))
+	h.Params.Rows = int(get(8))
+	h.Params.Seed = get(8)
+	h.Params.MinLogRows = int(get(4))
+	h.Params.MaxLogRows = int(get(4))
+	h.Params.MinLogCols = int(get(4))
+	h.Params.MaxLogCols = int(get(4))
+	h.Params.Estimator = core.Estimator(get(4))
+	h.Params.PanelCols = int(get(4))
+	h.Level = int(get(4))
+	h.Seq = get(8)
+	h.T0 = int(get(8))
+	h.T1 = int(get(8))
+	nl := int(get(4))
+	if !ok || nl < 0 || nl > 1<<16 {
+		return nil, fmt.Errorf("segstore: truncated or implausible segment header")
+	}
+	h.Lanes = make([]laneMeta, nl)
+	for n := range h.Lanes {
+		lm := &h.Lanes[n]
+		lm.ID.I = int(get(4))
+		lm.ID.J = int(get(4))
+		lm.ID.S = int(get(4))
+		lm.Off = int64(get(8))
+		lm.Floats = int64(get(8))
+		lm.CRC = uint32(get(4))
+	}
+	if !ok || pos != len(payload) {
+		return nil, fmt.Errorf("segstore: segment header length mismatch")
+	}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// validate checks the header's internal consistency: parameters, band
+// geometry, canonical lane order, and non-overlapping in-bounds blobs.
+func (h *segHeader) validate() error {
+	if err := h.Params.validate(); err != nil {
+		return err
+	}
+	if h.T0 < 0 || h.T1 <= h.T0 {
+		return fmt.Errorf("segstore: segment column range [%d,%d) empty or negative", h.T0, h.T1)
+	}
+	align := h.Params.SegAlign()
+	if h.T0%align != 0 || h.T1%align != 0 {
+		return fmt.Errorf("segstore: segment range [%d,%d) not aligned to %d", h.T0, h.T1, align)
+	}
+	if h.Level < 0 || h.Level > 60 {
+		return fmt.Errorf("segstore: implausible segment level %d", h.Level)
+	}
+	want := h.Params.lanes()
+	if len(h.Lanes) != len(want) {
+		return fmt.Errorf("segstore: segment has %d lanes, params need %d", len(h.Lanes), len(want))
+	}
+	minOff := int64(headerFrameLen(len(want)))
+	prevEnd := minOff
+	w := h.T1 - h.T0
+	for n, lm := range h.Lanes {
+		if lm.ID != want[n] {
+			return fmt.Errorf("segstore: lane %d is %+v, want canonical %+v", n, lm.ID, want[n])
+		}
+		if wantF := int64(h.Params.laneRows(lm.ID.I)) * int64(w) * int64(h.Params.K); lm.Floats != wantF {
+			return fmt.Errorf("segstore: lane %+v has %d floats, want %d", lm.ID, lm.Floats, wantF)
+		}
+		if lm.Off < prevEnd || lm.Off%8 != 0 {
+			return fmt.Errorf("segstore: lane %+v blob offset %d overlaps or misaligned", lm.ID, lm.Off)
+		}
+		prevEnd = lm.Off + lm.Floats*8
+	}
+	return nil
+}
+
+// size returns the total file size the header describes.
+func (h *segHeader) size() int64 {
+	if len(h.Lanes) == 0 {
+		return int64(headerFrameLen(0))
+	}
+	last := h.Lanes[len(h.Lanes)-1]
+	return last.Off + last.Floats*8
+}
+
+// alignUp rounds n up to a multiple of segPageAlign.
+func alignUp(n int64) int64 {
+	return (n + segPageAlign - 1) &^ (segPageAlign - 1)
+}
+
+// crcWriter accumulates a CRC32C over everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crcTable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// encodeFloats appends the little-endian encoding of src to a CRC and
+// optionally a writer, in bounded chunks.
+func encodeFloats(src []float64, crc *uint32, w io.Writer) error {
+	const chunk = 8192 // floats per chunk
+	buf := make([]byte, chunk*8)
+	for len(src) > 0 {
+		n := len(src)
+		if n > chunk {
+			n = chunk
+		}
+		for i, v := range src[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		b := buf[:n*8]
+		if crc != nil {
+			*crc = crc32.Update(*crc, crcTable, b)
+		}
+		if w != nil {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+		src = src[n:]
+	}
+	return nil
+}
+
+// decodeFloats reads n little-endian float64s from b into dst.
+func decodeFloats(b []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// readSegHeaderFile opens path and parses just its header — the
+// O(1)-per-segment restart read.
+func readSegHeaderFile(path string) (*segHeader, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	h, err := parseSegHeader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, st.Size(), nil
+}

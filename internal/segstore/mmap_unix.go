@@ -1,0 +1,31 @@
+//go:build unix
+
+package segstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared. The mapping stays
+// valid after f is closed and after the file is unlinked — POSIX keeps
+// the pages until munmap — which is what lets compaction unlink retired
+// segments while old snapshots still read them. Reports mapped=true so
+// release knows to munmap.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func unmapFile(data []byte, mapped bool) error {
+	if !mapped || data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -39,7 +39,8 @@ func (s *Server) handleBatch(op string, run batchFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Add(1)
 		mBatchRequests.Add(1)
-		sn, _ := s.current()
+		sn, _, releaseSnap := s.acquire()
+		defer releaseSnap()
 		if sn == nil {
 			s.writeNotReady(w)
 			return

@@ -147,8 +147,14 @@ type snapState struct {
 type Server struct {
 	cfg    Config
 	snap   atomic.Pointer[snapState]
-	swapMu sync.Mutex    // serializes Swap's generation increment
-	sem    chan struct{} // execution slots, cap MaxInflight
+	swapMu sync.Mutex // serializes Swap's generation increment
+	// snapRefMu orders snapshot retention against Swap: acquire retains
+	// under RLock, Swap stores the new state under Lock before releasing
+	// the old serving reference — so a request can never retain a
+	// snapshot whose count already hit zero (whose mmap-backed lanes a
+	// segment store may have unmapped).
+	snapRefMu sync.RWMutex
+	sem       chan struct{} // execution slots, cap MaxInflight
 	// Admission pressure is tracked as weighted cost: a single query
 	// weighs 1, a batch weighs its item count. queuedCost is the summed
 	// weight waiting for a slot (bounded by MaxQueue), inflightCost the
@@ -174,6 +180,7 @@ func New(snap *Snapshot, cfg Config) (*Server, error) {
 	cfg.setDefaults()
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
 	if snap != nil {
+		snap.Retain() // the serving reference, mirroring Swap
 		s.snap.Store(&snapState{sn: snap, gen: 1})
 	} else {
 		s.snap.Store(&snapState{})
@@ -205,19 +212,30 @@ func New(snap *Snapshot, cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Swap atomically replaces the serving snapshot: requests already
-// executing finish against the old one, new requests see the new one.
-// This is the SIGHUP hot-reload path. Each swap advances the snapshot
-// generation echoed by /v1/shardinfo and the sketch sub-query answers.
-// Swapping nil is ignored (the booting state is entered only at New).
+// executing finish against the old one (they hold references), new
+// requests see the new one. This is the SIGHUP hot-reload path. Each
+// swap advances the snapshot generation echoed by /v1/shardinfo and the
+// sketch sub-query answers. The server takes its own reference on snap
+// (the caller keeps the one it holds) and drops the previous serving
+// reference once the new state is published — a superseded snapshot's
+// OnRelease closers run as soon as its last holder lets go. Swapping
+// nil is ignored (the booting state is entered only at New).
 func (s *Server) Swap(snap *Snapshot) {
 	if snap == nil {
 		s.cfg.Logf("server: ignoring nil snapshot swap")
 		return
 	}
+	snap.Retain() // the serving reference; the caller's own ref is untouched
 	s.swapMu.Lock()
-	gen := s.snap.Load().gen + 1
+	old := s.snap.Load()
+	gen := old.gen + 1
+	s.snapRefMu.Lock()
 	s.snap.Store(&snapState{sn: snap, gen: gen})
+	s.snapRefMu.Unlock()
 	s.swapMu.Unlock()
+	if old.sn != nil {
+		old.sn.Release()
+	}
 	s.reloads.Add(1)
 	mReloads.Add(1)
 	s.cfg.Logf("server: snapshot swapped (%d tiles, %d clusters, generation %d)",
@@ -226,10 +244,31 @@ func (s *Server) Swap(snap *Snapshot) {
 
 // current resolves the serving snapshot and its generation in one
 // atomic load. sn is nil while the server is booting (New with a nil
-// snapshot, before the first Swap).
+// snapshot, before the first Swap). Only metadata endpoints (health,
+// readiness) may use it — query paths must acquire, because a snapshot
+// observed without a reference can lose its backing bytes to a
+// concurrent Swap.
 func (s *Server) current() (sn *Snapshot, gen int64) {
 	st := s.snap.Load()
 	return st.sn, st.gen
+}
+
+// acquire resolves the serving snapshot and takes a reference on it,
+// returning the release the request must run when done. A nil snapshot
+// (booting) returns a no-op release. The RLock makes retain atomic with
+// respect to Swap's store-then-release, so the count cannot hit zero
+// between the load and the Retain.
+func (s *Server) acquire() (sn *Snapshot, gen int64, release func()) {
+	s.snapRefMu.RLock()
+	st := s.snap.Load()
+	if st.sn != nil {
+		st.sn.Retain()
+	}
+	s.snapRefMu.RUnlock()
+	if st.sn == nil {
+		return nil, st.gen, func() {}
+	}
+	return st.sn, st.gen, st.sn.Release
 }
 
 // Generation reports the current snapshot generation (0 while booting).
@@ -353,7 +392,8 @@ func (s *Server) wrap(op string, fn opFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Add(1)
 
-		sn, _ := s.current()
+		sn, _, releaseSnap := s.acquire()
+		defer releaseSnap()
 		if sn == nil {
 			s.writeNotReady(w)
 			return

@@ -81,7 +81,8 @@ func (s *Server) wrapSub(op string, fn subFunc) http.HandlerFunc {
 		mRequests.Add(1)
 		mShardSubqueries.Add(1)
 
-		sn, gen := s.current()
+		sn, gen, releaseSnap := s.acquire()
+		defer releaseSnap()
 		if sn == nil {
 			s.writeNotReady(w)
 			return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -64,6 +65,39 @@ type Snapshot struct {
 	// Like the plan cache it never changes an answer: buffers are fully
 	// overwritten by Pool.Sketch before use and returned afterwards.
 	skBuf sync.Pool
+
+	// refs counts who may still read the snapshot: the owner reference
+	// BuildSnapshot creates (transferred to the server by Swap) plus one
+	// Retain per in-flight request. When it reaches zero the onRelease
+	// closers run — segment-mode snapshots release their segstore.View
+	// there, which is what keeps a compaction from unmapping bytes a
+	// query is still reading. Heap-backed snapshots have no closers and
+	// the count is inert.
+	refs      atomic.Int64
+	onRelease []func()
+}
+
+// OnRelease registers fn to run once when the snapshot's reference
+// count reaches zero. Must be called before the snapshot is published
+// (closers are not synchronized with Retain/Release).
+func (sn *Snapshot) OnRelease(fn func()) { sn.onRelease = append(sn.onRelease, fn) }
+
+// Retain adds a reference. The serving path calls it under the
+// server's acquire lock; other owners (tests, the ingester) may call it
+// any time they already hold a reference.
+func (sn *Snapshot) Retain() { sn.refs.Add(1) }
+
+// Release drops a reference, running the onRelease closers at zero.
+// Zero is final: the snapshot must not be used afterwards.
+func (sn *Snapshot) Release() {
+	if n := sn.refs.Add(-1); n > 0 {
+		return
+	} else if n < 0 {
+		panic("server: snapshot reference count went negative")
+	}
+	for _, fn := range sn.onRelease {
+		fn()
+	}
 }
 
 // getSketchBuf hands out a k-capacity buffer for Pool.Sketch.
@@ -106,6 +140,7 @@ func BuildSnapshot(ctx context.Context, tb *table.Table, pool *core.Pool, cfg Sn
 		tb: tb, pool: pool, lp: lp, sdist: pool.SketchDist(),
 		grid: grid, clusters: cfg.Clusters,
 	}
+	sn.refs.Store(1) // the owner reference; Swap takes it over
 	sn.tiles = make([]table.Rect, grid.NumTiles())
 	for i := range sn.tiles {
 		sn.tiles[i] = grid.Rect(i)

@@ -48,10 +48,24 @@ type manifest struct {
 	Days    []dayEntry `json:"days"`
 }
 
+// SegmentsDirName is the store subdirectory segment-mode serving keeps
+// its segment files in (see internal/segstore); Open sweeps its stray
+// temps and tabmine-store's fsck and segments subcommands look there.
+const SegmentsDirName = "segments"
+
 // Store is a directory-backed, day-partitioned table store.
 type Store struct {
 	dir string
 	m   manifest
+}
+
+// SegmentsDir returns the store's segment subdirectory path (which may
+// not exist; only segment-mode serving creates it).
+func (s *Store) SegmentsDir() string { return filepath.Join(s.dir, SegmentsDirName) }
+
+func dirExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
 }
 
 // Open opens (or initializes) a store rooted at dir, which must exist.
@@ -68,6 +82,13 @@ func Open(dir string) (*Store, error) {
 	}
 	if _, err := atomicio.CleanTemps(dir); err != nil {
 		return nil, fmt.Errorf("tabstore: %w", err)
+	}
+	// Segment-mode serving keeps its mmap-backed segment files in a
+	// segments/ subdirectory; a crash mid-write leaves its temps there.
+	if segDir := filepath.Join(dir, SegmentsDirName); dirExists(segDir) {
+		if _, err := atomicio.CleanTemps(segDir); err != nil {
+			return nil, fmt.Errorf("tabstore: %w", err)
+		}
 	}
 	s := &Store{dir: dir, m: manifest{Version: 1}}
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
